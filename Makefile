@@ -1,0 +1,34 @@
+# Reproduction workflow shortcuts.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments scorecard paper-scale examples clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments --all --out results/
+
+scorecard:
+	$(PYTHON) -m repro.experiments scorecard
+
+paper-scale:
+	SETJOINS_PAPER_SCALE=1 $(PYTHON) -m pytest tests/test_paper_scale.py -s
+	$(PYTHON) -m repro.experiments fig8 --scale 1.0
+	$(PYTHON) -m repro.experiments fig9 --scale 1.0
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; $(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	rm -rf results/ build/ *.egg-info src/*.egg-info .pytest_cache \
+		.hypothesis __pycache__

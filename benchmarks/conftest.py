@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures.
+
+Benchmarks mirror the paper's evaluation artifacts: one benchmark per
+figure/table regenerates that artifact's data (at reduced scale where the
+artifact needs the full disk testbed) and asserts its qualitative shape.
+Run with ``pytest benchmarks/ --benchmark-only``.
+
+Environment knobs:
+
+* ``SETJOINS_BENCH_SCALE`` — relation-size scale for the case-study
+  figures (default 0.05; the paper's size is 1.0).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.data.workloads import case_study
+
+BENCH_SCALE = float(os.environ.get("SETJOINS_BENCH_SCALE", "0.05"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def case_study_relations():
+    """The Section 5 workload at benchmark scale, generated once."""
+    return case_study(scale=BENCH_SCALE, seed=7).materialize()

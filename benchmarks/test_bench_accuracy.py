@@ -1,0 +1,38 @@
+"""Benchmark for the Section 4 model-accuracy study.
+
+Times the partitioning simulation over a reduced distribution grid and
+asserts the paper's claim: predictions within ~15% on well-behaved
+distributions.
+"""
+
+from repro.analysis.simulate import simulate_factors
+from repro.data.workloads import accuracy_workload
+
+
+def run_cells():
+    observations = []
+    for element_kind in ("uniform", "zipf", "normal"):
+        for cardinality_kind in ("constant", "uniform"):
+            workload = accuracy_workload(
+                element_kind, cardinality_kind,
+                size=300, theta_r=15, theta_s=30, seed=5,
+            )
+            lhs, rhs = workload.materialize()
+            for algorithm in ("DCJ", "PSJ"):
+                observations.append(
+                    simulate_factors(
+                        algorithm, lhs, rhs, 16, seed=5,
+                        theta_r=15, theta_s=30,
+                    )
+                )
+    return observations
+
+
+def test_bench_accuracy_grid(benchmark):
+    observations = benchmark.pedantic(run_cells, rounds=1, iterations=1)
+    errors = [
+        max(observation.comparison_error, observation.replication_error)
+        for observation in observations
+    ]
+    # Mean prediction error in the paper's ballpark (≤15%) on this grid.
+    assert sum(errors) / len(errors) < 0.15

@@ -1,0 +1,60 @@
+"""Benchmarks regenerating the analytical figures (4, 5, 6, 7, 10).
+
+These artifacts are pure model evaluations; each benchmark times the full
+figure regeneration and asserts the paper's qualitative claims on the
+produced series.
+"""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+class TestFig4:
+    def test_bench_fig4(self, benchmark):
+        result = benchmark(get_experiment("fig4"))
+        rows = {row["k"]: row for row in result.rows}
+        # DCJ ≈ 0.13 at k=128 while PSJ(θ=1000) ≈ 1 — the headline gap.
+        assert rows[128]["comp_DCJ"] == pytest.approx(0.13, abs=0.01)
+        assert rows[128]["comp_PSJ(θ=1000)"] > 0.99
+        # PSJ wins for tiny sets at large k.
+        assert rows[1024]["comp_PSJ(θ=10)"] < rows[1024]["comp_DCJ"]
+
+
+class TestFig5:
+    def test_bench_fig5(self, benchmark):
+        result = benchmark(get_experiment("fig5"))
+        for row in result.rows:
+            if row["theta_S"] >= 100:  # θ_S ≥ θ_R regime
+                assert row["comp_DCJ"] <= row["comp_PSJ"]
+
+
+class TestFig6:
+    def test_bench_fig6(self, benchmark):
+        result = benchmark(get_experiment("fig6"))
+        rows = {row["k"]: row for row in result.rows}
+        # PSJ's replication explodes for large sets; DCJ stays modest.
+        assert rows[128]["repl_PSJ(θ=1000)"] == pytest.approx(64.5, abs=0.2)
+        assert rows[128]["repl_PSJ(θ=1000)"] / rows[128]["repl_DCJ"] == pytest.approx(
+            16.7, abs=0.3
+        )
+        assert rows[128]["repl_DCJ"] < rows[128]["repl_LSJ"]
+
+
+class TestFig7:
+    def test_bench_fig7(self, benchmark):
+        result = benchmark(get_experiment("fig7"))
+        # DCJ approaches LSJ as λ grows but never catches up.
+        gaps = [row["repl_LSJ"] - row["repl_DCJ"] for row in result.rows]
+        assert all(gap > 0 for gap in gaps)
+        assert gaps[-1] < gaps[0] or gaps[-1] < max(gaps)
+
+
+class TestFig10:
+    def test_bench_fig10(self, benchmark):
+        result = benchmark(get_experiment("fig10"))
+        by_size = {row["|R|=|S|"]: row for row in result.rows}
+        # The paper's quoted breakeven point, reproduced from its constants.
+        assert by_size[128_000]["breakeven_θR(λ=2)"] == pytest.approx(50, abs=1)
+        lam1 = [row["breakeven_θR(λ=1)"] for row in result.rows]
+        assert lam1 == sorted(lam1)

@@ -1,0 +1,40 @@
+"""Benchmarks for the time-model calibration (Section 5).
+
+Two parts: collecting the measured data points (runs real joins) and the
+least-squares fit itself.  The fitted model must predict its own training
+points with an error comparable to the paper's 15.4%.
+"""
+
+import pytest
+
+from repro.analysis.timemodel import calibrate
+from repro.experiments.calibration import collect_samples
+
+TINY_GRID = (
+    (150, 150, 10, 20),
+    (300, 300, 10, 20),
+    (150, 300, 20, 40),
+)
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return collect_samples(grid=TINY_GRID, k_values=(4, 16, 64), seed=11)
+
+
+def test_bench_collect_calibration_points(benchmark):
+    measured = benchmark.pedantic(
+        lambda: collect_samples(grid=TINY_GRID[:1], k_values=(4, 16), seed=11),
+        rounds=1, iterations=1,
+    )
+    assert len(measured) == 4  # 1 workload x 2 algorithms x 2 k
+
+
+def test_bench_least_squares_fit(benchmark, samples):
+    model = benchmark(lambda: calibrate(samples))
+    error = model.mean_prediction_error(samples)
+    assert error < 0.5
+    benchmark.extra_info["c1"] = model.c1
+    benchmark.extra_info["c2"] = model.c2
+    benchmark.extra_info["c3"] = model.c3
+    benchmark.extra_info["mean_error"] = round(error, 4)

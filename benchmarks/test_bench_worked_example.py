@@ -1,0 +1,12 @@
+"""Benchmark for the Section 2 worked example (Tables 1-4, Figures 1-2)."""
+
+from repro.experiments import get_experiment
+
+
+def test_bench_worked_example(benchmark):
+    result = benchmark(get_experiment("worked-example"))
+    rows = {(row["artifact"], row["quantity"]): row for row in result.rows}
+    assert rows[("Figure 2", "DCJ comparisons")]["measured"] == 8
+    assert rows[("Figure 2", "DCJ replicated")]["measured"] == 14
+    assert rows[("Figure 1", "PSJ comparisons")]["measured"] == 9
+    assert rows[("Figure 1", "PSJ replicated")]["measured"] == 16

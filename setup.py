@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e . --no-build-isolation`` (and ``python setup.py
+develop``) to work in offline environments that lack the ``wheel``
+package required by PEP 660 editable builds.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Analytical model: factors, selectivity, time model, breakeven, simulation."""
+
+from .factors import (
+    ALGORITHMS,
+    comp_dcj,
+    comp_lsj,
+    comp_psj,
+    comparison_factor,
+    dcj_replication_matrices,
+    levels_of,
+    repl_dcj,
+    repl_lsj,
+    repl_psj,
+    repl_psj_bound,
+    replication_factor,
+)
+from .selectivity import expected_result_size, expected_selectivity
+from .statistics import RelationStatistics, collect_statistics
+
+__all__ = [
+    "ALGORITHMS",
+    "comp_dcj",
+    "comp_lsj",
+    "comp_psj",
+    "comparison_factor",
+    "dcj_replication_matrices",
+    "levels_of",
+    "repl_dcj",
+    "repl_lsj",
+    "repl_psj",
+    "repl_psj_bound",
+    "replication_factor",
+    "expected_result_size",
+    "expected_selectivity",
+    "RelationStatistics",
+    "collect_statistics",
+]

@@ -1,0 +1,89 @@
+"""Relation statistics for planning and reporting.
+
+The optimizer's step 2 determines "the average set cardinalities θ_R and
+θ_S using sampling or available statistics"; this module is the
+"available statistics" side: summary statistics over a relation's
+set-valued attribute, computable exactly or from a sample, plus the
+derived model parameters (λ, selectivity estimate, recommended signature
+width) surfaced by the ``setjoins stats`` command.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.sets import Relation
+from ..errors import ConfigurationError
+
+__all__ = ["RelationStatistics", "collect_statistics"]
+
+
+@dataclass(frozen=True)
+class RelationStatistics:
+    """Summary of one relation's set-valued attribute."""
+
+    name: str
+    size: int
+    min_cardinality: int
+    max_cardinality: int
+    mean_cardinality: float
+    median_cardinality: float
+    empty_sets: int
+    distinct_elements: int
+    domain_bound: int
+    sampled: bool
+
+    def describe(self) -> str:
+        lines = [
+            f"relation {self.name or '?'}: {self.size} tuples"
+            + (" (sampled statistics)" if self.sampled else ""),
+            f"  cardinality: min {self.min_cardinality}, "
+            f"median {self.median_cardinality:g}, "
+            f"mean {self.mean_cardinality:.2f}, max {self.max_cardinality}",
+            f"  empty sets: {self.empty_sets}",
+            f"  distinct elements seen: {self.distinct_elements} "
+            f"(domain bound {self.domain_bound})",
+        ]
+        return "\n".join(lines)
+
+
+def collect_statistics(
+    relation: Relation,
+    sample_size: int | None = None,
+    seed: int = 0,
+) -> RelationStatistics:
+    """Compute statistics exactly, or from a uniform tuple sample."""
+    if not len(relation):
+        return RelationStatistics(relation.name, 0, 0, 0, 0.0, 0.0, 0, 0, 1,
+                                  sampled=False)
+    rows = list(relation)
+    sampled = False
+    if sample_size is not None:
+        if sample_size < 1:
+            raise ConfigurationError("sample size must be >= 1")
+        if sample_size < len(rows):
+            rows = random.Random(seed).sample(rows, sample_size)
+            sampled = True
+    cardinalities = sorted(row.cardinality for row in rows)
+    count = len(cardinalities)
+    middle = count // 2
+    if count % 2:
+        median = float(cardinalities[middle])
+    else:
+        median = (cardinalities[middle - 1] + cardinalities[middle]) / 2.0
+    elements: set[int] = set()
+    for row in rows:
+        elements |= row.elements
+    return RelationStatistics(
+        name=relation.name,
+        size=len(relation),
+        min_cardinality=cardinalities[0],
+        max_cardinality=cardinalities[-1],
+        mean_cardinality=sum(cardinalities) / count,
+        median_cardinality=median,
+        empty_sets=sum(1 for value in cardinalities if value == 0),
+        distinct_elements=len(elements),
+        domain_bound=relation.domain_bound(),
+        sampled=sampled,
+    )

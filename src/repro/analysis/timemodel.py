@@ -1,0 +1,140 @@
+"""The calibrated execution-time model of Section 5.
+
+The paper approximates the running time of either partitioning algorithm
+as::
+
+    time(x, y, k) = c1·x + c2·y·k^c3
+
+where ``x`` is the total number of signature comparisons (CPU term),
+``y`` the total number of signatures written to partitions (I/O term) and
+``k^c3`` a fragmentation penalty that grows with the partition count.
+The constants are obtained by least-squares fitting over measured runs
+("calibration of hardware"); on the paper's 600 MHz testbed the fit was
+``c1 = 5.12686e-7, c2 = 8.28197e-7, c3 = 0.691485`` with a 15.4% average
+prediction error over 114 points.
+
+:class:`TimeModel` evaluates the formula; :func:`calibrate` reproduces the
+fitting step from a list of measured :class:`repro.core.metrics.JoinMetrics`
+(or bare sample tuples) using scipy's nonlinear least squares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from ..core.metrics import JoinMetrics
+from ..errors import CalibrationError
+
+__all__ = ["TimeModel", "CalibrationSample", "calibrate", "PAPER_TIME_MODEL"]
+
+
+@dataclass(frozen=True)
+class CalibrationSample:
+    """One measured run: inputs of the time formula plus observed seconds."""
+
+    comparisons: float  # x
+    replicated_signatures: float  # y
+    num_partitions: int  # k
+    seconds: float
+
+    @classmethod
+    def from_metrics(cls, metrics: JoinMetrics) -> "CalibrationSample":
+        return cls(
+            comparisons=metrics.signature_comparisons,
+            replicated_signatures=metrics.replicated_signatures,
+            num_partitions=metrics.num_partitions,
+            seconds=metrics.total_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class TimeModel:
+    """``time(x, y, k) = c1·x + c2·y·k^c3`` with fitted constants."""
+
+    c1: float
+    c2: float
+    c3: float
+
+    def predict(self, comparisons: float, replicated: float, k: int) -> float:
+        """Predicted execution time in seconds."""
+        return self.c1 * comparisons + self.c2 * replicated * k**self.c3
+
+    def predict_factors(
+        self,
+        comparison_factor: float,
+        replication_factor: float,
+        r_size: int,
+        s_size: int,
+        k: int,
+    ) -> float:
+        """Predict from analytical factors: x = comp·|R|·|S|, y = repl·(|R|+|S|)."""
+        return self.predict(
+            comparison_factor * r_size * s_size,
+            replication_factor * (r_size + s_size),
+            k,
+        )
+
+    def prediction_errors(self, samples: Sequence[CalibrationSample]) -> list[float]:
+        """Relative |predicted − observed| / observed per sample."""
+        errors = []
+        for sample in samples:
+            predicted = self.predict(
+                sample.comparisons, sample.replicated_signatures,
+                sample.num_partitions,
+            )
+            errors.append(abs(predicted - sample.seconds) / sample.seconds)
+        return errors
+
+    def mean_prediction_error(self, samples: Sequence[CalibrationSample]) -> float:
+        """Average relative prediction error (the paper reports 15.4%)."""
+        errors = self.prediction_errors(samples)
+        return sum(errors) / len(errors) if errors else 0.0
+
+
+#: The constants the paper fitted for its Java/Berkeley-DB/600 MHz testbed.
+PAPER_TIME_MODEL = TimeModel(c1=5.12686e-7, c2=8.28197e-7, c3=0.691485)
+
+
+def calibrate(
+    samples: Iterable[CalibrationSample | JoinMetrics],
+    initial: TimeModel = TimeModel(1e-7, 1e-6, 0.7),
+) -> TimeModel:
+    """Fit (c1, c2, c3) to measured samples by nonlinear least squares.
+
+    Residuals are relative (per-sample error divided by observed time), so
+    slow and fast configurations weigh equally — matching the paper's use
+    of *average prediction error* as the quality measure.
+    """
+    normalized = [
+        CalibrationSample.from_metrics(s) if isinstance(s, JoinMetrics) else s
+        for s in samples
+    ]
+    if len(normalized) < 3:
+        raise CalibrationError(
+            f"need at least 3 calibration samples, got {len(normalized)}"
+        )
+    if any(s.seconds <= 0 for s in normalized):
+        raise CalibrationError("calibration samples must have positive times")
+
+    x = np.array([s.comparisons for s in normalized], dtype=float)
+    y = np.array([s.replicated_signatures for s in normalized], dtype=float)
+    k = np.array([s.num_partitions for s in normalized], dtype=float)
+    t = np.array([s.seconds for s in normalized], dtype=float)
+
+    def residuals(params: np.ndarray) -> np.ndarray:
+        c1, c2, c3 = params
+        return (c1 * x + c2 * y * k**c3 - t) / t
+
+    fit = least_squares(
+        residuals,
+        x0=[initial.c1, initial.c2, initial.c3],
+        bounds=([0.0, 0.0, 0.0], [np.inf, np.inf, 3.0]),
+    )
+    if not fit.success:
+        raise CalibrationError(f"least-squares fit failed: {fit.message}")
+    c1, c2, c3 = fit.x
+    return TimeModel(float(c1), float(c2), float(c3))

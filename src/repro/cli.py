@@ -1,0 +1,293 @@
+"""Command-line interface: ``setjoins <command>``.
+
+Commands:
+
+* ``join``       -- run a set containment join over two set files
+* ``plan``       -- run the optimizer's 5-step selection procedure only
+* ``experiment`` -- regenerate one of the paper's figures/tables
+* ``demo``       -- the Section 2 worked example, end to end
+
+Set files are plain text: one set per line, whitespace-separated
+non-negative integer elements; the line number (0-based) is the tuple id.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.timemodel import PAPER_TIME_MODEL
+from .core.optimizer import choose_plan
+from .core.operator import run_disk_join
+from .core.sets import Relation
+from .errors import SetJoinError
+
+__all__ = ["main", "load_relation_file"]
+
+
+def load_relation_file(path: str, name: str = "") -> Relation:
+    """Parse a one-set-per-line text file into a relation."""
+    from .data.io import load_relation
+
+    return load_relation(path, name=name)
+
+
+def _cmd_join(arguments) -> int:
+    lhs = load_relation_file(arguments.r_file, "R")
+    rhs = load_relation_file(arguments.s_file, "S")
+    if arguments.algorithm == "auto":
+        plan = choose_plan(lhs, rhs, PAPER_TIME_MODEL)
+        partitioner = plan.build_partitioner()
+        print(f"# planned: {plan.algorithm} with k={plan.k}", file=sys.stderr)
+    else:
+        from .analysis.simulate import make_partitioner
+
+        partitioner = make_partitioner(
+            arguments.algorithm.upper(),
+            arguments.partitions,
+            lhs.average_cardinality() or 1.0,
+            rhs.average_cardinality() or 1.0,
+        )
+    result, metrics = run_disk_join(
+        lhs, rhs, partitioner,
+        signature_bits=arguments.signature_bits,
+        engine=arguments.engine,
+    )
+    for r_tid, s_tid in sorted(result):
+        print(f"{r_tid}\t{s_tid}")
+    print(
+        f"# {len(result)} pairs; {metrics.signature_comparisons} signature "
+        f"comparisons, {metrics.replicated_signatures} replicated signatures, "
+        f"{metrics.total_seconds:.3f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_plan(arguments) -> int:
+    lhs = load_relation_file(arguments.r_file, "R")
+    rhs = load_relation_file(arguments.s_file, "S")
+    plan = choose_plan(lhs, rhs, PAPER_TIME_MODEL)
+    print(f"algorithm: {plan.algorithm}")
+    print(f"partitions: {plan.k}")
+    print(f"predicted_seconds: {plan.predicted_seconds:.4f}")
+    print(f"theta_r: {plan.theta_r:.2f}")
+    print(f"theta_s: {plan.theta_s:.2f}")
+    return 0
+
+
+def _cmd_experiment(arguments) -> int:
+    from .experiments import get_experiment
+
+    kwargs = {}
+    if arguments.scale is not None and arguments.id in ("fig8", "fig9"):
+        kwargs["scale"] = arguments.scale
+    result = get_experiment(arguments.id)(**kwargs)
+    if arguments.plot:
+        from .experiments.plotting import plot_result
+
+        print(plot_result(result))
+    else:
+        print(result.render())
+    return 0
+
+
+def _cmd_generate(arguments) -> int:
+    from .data.distributions import (
+        cardinality_distribution,
+        element_distribution,
+    )
+    from .data.generator import RelationSpec, generate_relation
+    from .data.io import save_relation
+
+    spec = RelationSpec(
+        size=arguments.size,
+        cardinality=cardinality_distribution(
+            arguments.cardinality, arguments.theta
+        ),
+        elements=element_distribution(arguments.distribution, arguments.domain),
+        name=arguments.out,
+    )
+    relation = generate_relation(spec, seed=arguments.seed)
+    count = save_relation(relation, arguments.out)
+    print(f"wrote {count} sets to {arguments.out} "
+          f"(θ≈{relation.average_cardinality():.1f}, "
+          f"domain {arguments.domain}, {arguments.distribution} elements, "
+          f"{arguments.cardinality} cardinalities)", file=sys.stderr)
+    return 0
+
+
+def _cmd_db(arguments) -> int:
+    from .database import SetJoinDatabase
+
+    with SetJoinDatabase.open(arguments.database) as db:
+        if arguments.action == "list":
+            for name in db.relation_names():
+                print(f"{name}\t{db.relation_size(name)} tuples")
+            return 0
+        if arguments.action == "load":
+            if len(arguments.args) != 2:
+                print("usage: setjoins db FILE load NAME SETFILE",
+                      file=sys.stderr)
+                return 2
+            name, set_file = arguments.args
+            relation = load_relation_file(set_file, name)
+            count = db.create_relation(name, relation)
+            print(f"loaded {count} tuples into {name!r}")
+            return 0
+        if arguments.action == "drop":
+            if len(arguments.args) != 1:
+                print("usage: setjoins db FILE drop NAME", file=sys.stderr)
+                return 2
+            db.drop_relation(arguments.args[0])
+            print(f"dropped {arguments.args[0]!r}")
+            return 0
+        if arguments.action == "explain":
+            if len(arguments.args) != 2:
+                print("usage: setjoins db FILE explain R S", file=sys.stderr)
+                return 2
+            print(db.explain(*arguments.args))
+            return 0
+        if arguments.action == "join":
+            if len(arguments.args) != 2:
+                print("usage: setjoins db FILE join R S", file=sys.stderr)
+                return 2
+            pairs, metrics = db.join(*arguments.args)
+            for r_tid, s_tid in sorted(pairs):
+                print(f"{r_tid}\t{s_tid}")
+            print(f"# {len(pairs)} pairs in {metrics.total_seconds:.3f}s "
+                  f"({metrics.algorithm}, k={metrics.num_partitions})",
+                  file=sys.stderr)
+            return 0
+        print(f"unknown db action {arguments.action!r}", file=sys.stderr)
+        return 2
+
+
+def _cmd_stats(arguments) -> int:
+    from .analysis.statistics import collect_statistics
+    from .analysis.selectivity import expected_selectivity
+    from .core.signatures import recommend_signature_bits
+
+    relations = [
+        load_relation_file(path, name) for path, name in
+        zip(arguments.files, ("R", "S"))
+    ]
+    for relation in relations:
+        print(collect_statistics(relation, sample_size=arguments.sample).describe())
+    if len(relations) == 2 and all(len(r) for r in relations):
+        lhs, rhs = relations
+        theta_r = lhs.average_cardinality()
+        theta_s = rhs.average_cardinality()
+        domain = max(lhs.domain_bound(), rhs.domain_bound())
+        print("join estimates:")
+        if theta_r and theta_s:
+            selectivity = expected_selectivity(
+                round(min(theta_r, theta_s)), round(max(theta_r, theta_s)),
+                max(domain, round(theta_s)),
+            )
+            print(f"  expected selectivity ≈ {selectivity:.3e} "
+                  f"(~{selectivity * len(lhs) * len(rhs):.1f} result tuples)")
+            bits = recommend_signature_bits(
+                theta_r, theta_s, pairs_compared=len(lhs) * len(rhs)
+            )
+            print(f"  recommended signature width ≥ {bits} bits")
+    return 0
+
+
+def _cmd_demo(arguments) -> int:
+    from .experiments.worked_example import run
+
+    print(run().render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="setjoins",
+        description="Set containment joins (DCJ/PSJ/LSJ reproduction).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    join = commands.add_parser("join", help="run a set containment join")
+    join.add_argument("r_file", help="subset-side sets, one per line")
+    join.add_argument("s_file", help="superset-side sets, one per line")
+    join.add_argument(
+        "--algorithm", default="auto",
+        choices=["auto", "dcj", "psj", "lsj"],
+    )
+    join.add_argument("--partitions", "-k", type=int, default=32)
+    join.add_argument("--signature-bits", type=int, default=160)
+    join.add_argument("--engine", default="numpy", choices=["numpy", "python"])
+    join.set_defaults(handler=_cmd_join)
+
+    plan = commands.add_parser("plan", help="choose algorithm and k only")
+    plan.add_argument("r_file")
+    plan.add_argument("s_file")
+    plan.set_defaults(handler=_cmd_plan)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a figure/table from the paper"
+    )
+    experiment.add_argument("id", help="experiment id (e.g. fig8)")
+    experiment.add_argument("--scale", type=float, default=None)
+    experiment.add_argument(
+        "--plot", action="store_true",
+        help="render an ASCII chart instead of the table",
+    )
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic set file"
+    )
+    generate.add_argument("out", help="output file path")
+    generate.add_argument("--size", type=int, default=1000,
+                          help="number of sets (default 1000)")
+    generate.add_argument("--theta", type=int, default=20,
+                          help="average set cardinality (default 20)")
+    generate.add_argument("--domain", type=int, default=10_000,
+                          help="element domain size (default 10000)")
+    generate.add_argument(
+        "--distribution", default="uniform",
+        choices=["uniform", "zipf", "selfsimilar", "normal", "clustered"],
+        help="element-value distribution",
+    )
+    generate.add_argument(
+        "--cardinality", default="uniform",
+        choices=["constant", "uniform", "normal", "zipf", "bimodal"],
+        help="set-cardinality distribution",
+    )
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(handler=_cmd_generate)
+
+    database = commands.add_parser(
+        "db", help="manage a persistent database of set relations"
+    )
+    database.add_argument("database", help="database file path")
+    database.add_argument(
+        "action", choices=["list", "load", "drop", "explain", "join"]
+    )
+    database.add_argument("args", nargs="*", help="action arguments")
+    database.set_defaults(handler=_cmd_db)
+
+    stats = commands.add_parser("stats", help="summarize set files")
+    stats.add_argument("files", nargs="+", help="one or two set files")
+    stats.add_argument("--sample", type=int, default=None,
+                       help="sample size for statistics (default: exact)")
+    stats.set_defaults(handler=_cmd_stats)
+
+    demo = commands.add_parser("demo", help="the Section 2 worked example")
+    demo.set_defaults(handler=_cmd_demo)
+
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except SetJoinError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""High-level one-call joins.
+
+Convenience entry points for downstream users who just want an answer:
+
+* :func:`containment_join` — ``{(r, s) : r ⊆ s}`` with automatic
+  algorithm/partition-count selection (the paper's optimizer) unless an
+  algorithm is forced.
+* :func:`superset_join` — ``{(r, s) : r ⊇ s}``, computed by swapping the
+  sides of a containment join.
+* :func:`set_equality_join` — ``{(r, s) : r = s}``, the intersection of
+  both directions, answered directly via signature-keyed hashing.
+* :func:`overlap_join` — re-export of the intersection join.
+
+All return ``(pairs, metrics)`` like the lower-level operators.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+
+from ..analysis.timemodel import PAPER_TIME_MODEL, TimeModel
+from ..errors import ConfigurationError
+from .intersection import intersection_join as overlap_join
+from .metrics import JoinMetrics
+from .operator import run_disk_join
+from .optimizer import choose_plan
+from .sets import Relation
+from .signatures import DEFAULT_SIGNATURE_BITS, signature_of
+
+__all__ = [
+    "containment_join",
+    "self_containment_join",
+    "superset_join",
+    "set_equality_join",
+    "overlap_join",
+]
+
+_ALGORITHMS = ("auto", "DCJ", "PSJ", "LSJ")
+
+
+def containment_join(
+    lhs: Relation,
+    rhs: Relation,
+    algorithm: str = "auto",
+    num_partitions: int | None = None,
+    signature_bits: int = DEFAULT_SIGNATURE_BITS,
+    model: TimeModel = PAPER_TIME_MODEL,
+    seed: int = 0,
+) -> tuple[set[tuple[int, int]], JoinMetrics]:
+    """Compute ``{(r.tid, s.tid) : r ⊆ s}``.
+
+    ``algorithm="auto"`` runs the paper's five-step selection procedure;
+    naming an algorithm uses it at ``num_partitions`` (default 32, any
+    value — DCJ/LSJ fold via the modulo approach when it is not a power
+    of two).
+    """
+    if algorithm not in _ALGORITHMS:
+        raise ConfigurationError(
+            f"algorithm must be one of {_ALGORITHMS}, got {algorithm!r}"
+        )
+    if not lhs or not rhs:
+        return set(), JoinMetrics(algorithm=algorithm, r_size=len(lhs),
+                                  s_size=len(rhs))
+    if algorithm == "auto":
+        plan = choose_plan(lhs, rhs, model)
+        partitioner = plan.build_partitioner(seed=seed)
+    else:
+        from ..analysis.simulate import make_partitioner
+        from .modulo import dcj_with_any_k, lsj_with_any_k
+
+        k = num_partitions or 32
+        theta_r = max(lhs.average_cardinality(), 1.0)
+        theta_s = max(rhs.average_cardinality(), 1.0)
+        if algorithm == "PSJ" or k & (k - 1) == 0 and k >= 2:
+            partitioner = make_partitioner(algorithm, k, theta_r, theta_s, seed)
+        elif algorithm == "DCJ":
+            partitioner = dcj_with_any_k(k, theta_r, theta_s)
+        else:
+            partitioner = lsj_with_any_k(k, theta_r, theta_s)
+    return run_disk_join(lhs, rhs, partitioner, signature_bits=signature_bits)
+
+
+def superset_join(
+    lhs: Relation,
+    rhs: Relation,
+    algorithm: str = "auto",
+    num_partitions: int | None = None,
+    signature_bits: int = DEFAULT_SIGNATURE_BITS,
+    model: TimeModel = PAPER_TIME_MODEL,
+    seed: int = 0,
+) -> tuple[set[tuple[int, int]], JoinMetrics]:
+    """Compute ``{(l.tid, r.tid) : l ⊇ r}`` — containment with the sides
+    swapped and the result pairs swapped back."""
+    pairs, metrics = containment_join(
+        rhs, lhs, algorithm, num_partitions, signature_bits, model, seed
+    )
+    return {(l_tid, r_tid) for r_tid, l_tid in pairs}, metrics
+
+
+def self_containment_join(
+    relation: Relation,
+    algorithm: str = "auto",
+    num_partitions: int | None = None,
+    strict: bool = True,
+    signature_bits: int = DEFAULT_SIGNATURE_BITS,
+    model: TimeModel = PAPER_TIME_MODEL,
+    seed: int = 0,
+) -> tuple[set[tuple[int, int]], JoinMetrics]:
+    """Containment pairs within one relation: ``{(a, b) : a ⊆ b, a ≠ b}``.
+
+    The "folding flat relations into a nested representation" use case
+    from the paper's introduction.  ``strict=True`` (default) drops the
+    trivial reflexive pairs; set it to ``False`` to keep them.
+    """
+    pairs, metrics = containment_join(
+        relation, relation, algorithm, num_partitions,
+        signature_bits, model, seed,
+    )
+    if strict:
+        pairs = {(a, b) for a, b in pairs if a != b}
+        metrics.result_size = len(pairs)
+    return pairs, metrics
+
+
+def set_equality_join(
+    lhs: Relation,
+    rhs: Relation,
+    signature_bits: int = DEFAULT_SIGNATURE_BITS,
+) -> tuple[set[tuple[int, int]], JoinMetrics]:
+    """Compute ``{(r.tid, s.tid) : r = s}`` by hashing on signatures.
+
+    Equal sets have equal signatures, so a signature-keyed hash join with
+    exact verification does it in linear time — the degenerate case where
+    both ⊆ and ⊇ hold.
+    """
+    metrics = JoinMetrics(algorithm="EqualityHash", num_partitions=1,
+                          r_size=len(lhs), s_size=len(rhs),
+                          signature_bits=signature_bits)
+    started = time.perf_counter()
+    buckets: dict[int, list] = defaultdict(list)
+    for r in lhs:
+        buckets[signature_of(r.elements, signature_bits)].append(r)
+    result: set[tuple[int, int]] = set()
+    for s in rhs:
+        for r in buckets.get(signature_of(s.elements, signature_bits), ()):
+            metrics.signature_comparisons += 1
+            metrics.candidates += 1
+            metrics.set_comparisons += 1
+            if r.elements == s.elements:
+                result.add((r.tid, s.tid))
+            else:
+                metrics.false_positives += 1
+    metrics.joining.seconds = time.perf_counter() - started
+    metrics.result_size = len(result)
+    return result, metrics

@@ -1,0 +1,124 @@
+"""Join execution metrics.
+
+Every join run produces a :class:`JoinMetrics` recording the quantities
+the paper's analysis is built on:
+
+* ``signature_comparisons`` (``x`` in the paper's time model) and the
+  derived comparison factor,
+* ``replicated_signatures`` (``y``) and the derived replication factor,
+* physical page I/O per phase,
+* wall-clock time per phase (partitioning / joining / verification),
+* candidate and false-positive counts from the signature filter.
+
+These are what the calibration step (Section 5) fits the time model
+``time(x, y, k) = c1·x + c2·y·k^c3`` against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..storage.pager import IOStats
+
+__all__ = ["PhaseMetrics", "JoinMetrics"]
+
+
+@dataclass
+class PhaseMetrics:
+    """Wall time and physical I/O of one execution phase."""
+
+    seconds: float = 0.0
+    page_reads: int = 0
+    page_writes: int = 0
+
+    @classmethod
+    def from_io_delta(cls, seconds: float, delta: IOStats) -> "PhaseMetrics":
+        return cls(seconds, delta.page_reads, delta.page_writes)
+
+
+@dataclass
+class JoinMetrics:
+    """Complete measurement record of one set-containment-join execution."""
+
+    algorithm: str = ""
+    num_partitions: int = 0
+    r_size: int = 0
+    s_size: int = 0
+    signature_bits: int = 0
+
+    signature_comparisons: int = 0
+    replicated_signatures: int = 0
+    #: partition entries held in memory-resident partitions (never written
+    #: to disk); zero unless the operator's resident_partitions option is on.
+    resident_signatures: int = 0
+    candidates: int = 0
+    false_positives: int = 0
+    result_size: int = 0
+    set_comparisons: int = 0
+
+    partitioning: PhaseMetrics = field(default_factory=PhaseMetrics)
+    joining: PhaseMetrics = field(default_factory=PhaseMetrics)
+    verification: PhaseMetrics = field(default_factory=PhaseMetrics)
+
+    @property
+    def comparison_factor(self) -> float:
+        """Measured comparison factor: x / (|R|·|S|)."""
+        denominator = self.r_size * self.s_size
+        return self.signature_comparisons / denominator if denominator else 0.0
+
+    @property
+    def replication_factor(self) -> float:
+        """Measured replication factor: y / (|R| + |S|)."""
+        denominator = self.r_size + self.s_size
+        return self.replicated_signatures / denominator if denominator else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.partitioning.seconds
+            + self.joining.seconds
+            + self.verification.seconds
+        )
+
+    @property
+    def total_page_reads(self) -> int:
+        return (
+            self.partitioning.page_reads
+            + self.joining.page_reads
+            + self.verification.page_reads
+        )
+
+    @property
+    def total_page_writes(self) -> int:
+        return (
+            self.partitioning.page_writes
+            + self.joining.page_writes
+            + self.verification.page_writes
+        )
+
+    @property
+    def filter_precision(self) -> float:
+        """Fraction of signature-filter candidates that truly join."""
+        return self.result_size / self.candidates if self.candidates else 1.0
+
+    def as_row(self) -> dict:
+        """Flat dict for tabular reporting (benchmarks, EXPERIMENTS.md)."""
+        return {
+            "algorithm": self.algorithm,
+            "k": self.num_partitions,
+            "|R|": self.r_size,
+            "|S|": self.s_size,
+            "comparisons": self.signature_comparisons,
+            "comp_factor": round(self.comparison_factor, 6),
+            "replicated": self.replicated_signatures,
+            "repl_factor": round(self.replication_factor, 6),
+            "candidates": self.candidates,
+            "false_positives": self.false_positives,
+            "results": self.result_size,
+            "t_partition_s": round(self.partitioning.seconds, 6),
+            "t_join_s": round(self.joining.seconds, 6),
+            "t_verify_s": round(self.verification.seconds, 6),
+            "t_total_s": round(self.total_seconds, 6),
+            "page_reads": self.total_page_reads,
+            "page_writes": self.total_page_writes,
+        }

@@ -1,0 +1,580 @@
+"""The disk-based set-containment-join operator.
+
+This is the reproduction of the paper's testbed operator: it is built so
+that "just the actual partitioning algorithm can be exchanged, other
+conditions remaining equal".  A join runs in three phases:
+
+1. **Partitioning** -- scan each stored relation once, compute each
+   tuple's signature, ask the partitioner for its partition(s) and append
+   ``(signature, tid)`` entries to the per-relation partition stores
+   (portioned B-trees, as in the paper).
+
+2. **Joining** -- for each partition pair, compare signatures with a block
+   nested loop.  Portions are read in batches to avoid random I/O; if a
+   partition's R side exceeds the in-memory block budget, the S side is
+   re-scanned per block (classic block-nested-loop behaviour, matching the
+   paper's "large partitions that do not fit into the memory available").
+   Pairs passing the bitwise-inclusion filter become candidates.
+
+3. **Verification** -- candidate tuple identifiers are sorted and the
+   corresponding tuples fetched from the relation B-trees (sorted fetches
+   avoid random I/O, as in the paper), then tested with the real subset
+   predicate to eliminate false positives.
+
+Two comparison engines are provided: ``"python"`` (pure-Python loop over
+integer signatures, faithful to the per-comparison accounting) and
+``"numpy"`` (vectorized bitwise inclusion over packed 64-bit words; same
+comparison counts, much faster at paper scale).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..storage.buffer import BufferPool
+from ..storage.pager import DiskManager, FileDiskManager, InMemoryDiskManager
+from ..storage.partition_store import PartitionStore
+from ..storage.relation_store import DEFAULT_PAYLOAD_SIZE, RelationStore
+from .metrics import JoinMetrics, PhaseMetrics
+from .partitioning import Partitioner
+from .sets import Relation
+from .signatures import (
+    DEFAULT_SIGNATURE_BITS,
+    bitwise_included,
+    pack_signatures,
+    signature_of,
+)
+
+__all__ = ["Testbed", "SetContainmentJoin", "run_disk_join"]
+
+ENGINES = ("python", "numpy")
+
+
+class Testbed:
+    """A disk, a buffer pool and the two stored input relations.
+
+    ``path=None`` keeps pages in memory (fast, identical I/O accounting);
+    a file path gives real on-disk storage.
+    """
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(
+        self,
+        path: str | None = None,
+        page_size: int = 4096,
+        buffer_pages: int = 512,
+        buffer_policy: str = "lru",
+    ):
+        if path is None:
+            self.disk: DiskManager = InMemoryDiskManager(page_size)
+        else:
+            self.disk = FileDiskManager(path, page_size)
+        self.pool = BufferPool(self.disk, capacity=buffer_pages, policy=buffer_policy)
+        self.relation_r: RelationStore | None = None
+        self.relation_s: RelationStore | None = None
+
+    @classmethod
+    def from_components(
+        cls,
+        disk: DiskManager,
+        pool: BufferPool,
+        relation_r: RelationStore,
+        relation_s: RelationStore,
+    ) -> "Testbed":
+        """Wrap pre-existing storage components (e.g. a database's) so the
+        operator can run over already-stored relations."""
+        testbed = cls.__new__(cls)
+        testbed.disk = disk
+        testbed.pool = pool
+        testbed.relation_r = relation_r
+        testbed.relation_s = relation_s
+        return testbed
+
+    def load(
+        self,
+        lhs: Relation,
+        rhs: Relation,
+        payload_size: int = DEFAULT_PAYLOAD_SIZE,
+    ) -> None:
+        """Store both input relations (R = subset side, S = superset side).
+
+        Loads in tid order through the B-tree bulk loader (pages written
+        once, no splits).
+        """
+        self.relation_r = RelationStore.create_sorted(
+            self.pool,
+            sorted((row.tid, row.elements) for row in lhs),
+            payload_size,
+            name=lhs.name or "R",
+        )
+        self.relation_s = RelationStore.create_sorted(
+            self.pool,
+            sorted((row.tid, row.elements) for row in rhs),
+            payload_size,
+            name=rhs.name or "S",
+        )
+        self.pool.flush_all()
+
+    def close(self) -> None:
+        self.pool.flush_all()
+        self.disk.close()
+
+    def __enter__(self) -> "Testbed":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SetContainmentJoin:
+    """Executes R ⋈⊆ S on a :class:`Testbed` with a pluggable partitioner."""
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        partitioner: Partitioner,
+        signature_bits: int = DEFAULT_SIGNATURE_BITS,
+        engine: str = "numpy",
+        block_entries: int = 200_000,
+        batch_portions: int = 8,
+        monolithic_partitions: bool = False,
+        resident_partitions: int = 0,
+        spill_candidates: bool = False,
+        verify_per_partition: bool = False,
+    ):
+        """Configure the operator.
+
+        Beyond the core knobs, two implementation options from the
+        paper's Section 6 discussion are available:
+
+        * ``resident_partitions`` — keep the first ``m`` partitions of
+          both relations permanently in main memory instead of writing
+          them to disk ("keeping a fixed number of partitions permanently
+          in main memory improves the execution time when much memory is
+          available").  Resident entries are counted separately in the
+          metrics since they cost no partition I/O.
+        * ``spill_candidates`` — separate the joining and verification
+          phases by writing candidate tuple-identifier pairs to a
+          temporary B-tree instead of holding them in memory ("first
+          writing out potentially joining tuple identifiers of all
+          partitions to disk may improve performance").
+        * ``verify_per_partition`` — verify candidates as soon as each
+          partition pair finishes, interleaving verification with joining
+          the way the paper's testbed does ("After comparing all
+          signatures in two partition batches, the identifiers of
+          potentially joining tuples ... are sorted, and the
+          corresponding tuples are fetched from disk").  Mutually
+          exclusive with ``spill_candidates``.
+        """
+        if testbed.relation_r is None or testbed.relation_s is None:
+            raise ConfigurationError("testbed has no loaded relations")
+        if engine not in ENGINES:
+            raise ConfigurationError(f"engine must be one of {ENGINES}, got {engine!r}")
+        if block_entries < 1:
+            raise ConfigurationError("block_entries must be >= 1")
+        if resident_partitions < 0:
+            raise ConfigurationError("resident_partitions must be >= 0")
+        if spill_candidates and verify_per_partition:
+            raise ConfigurationError(
+                "spill_candidates and verify_per_partition are mutually "
+                "exclusive (spilling exists to defer verification)"
+            )
+        self.testbed = testbed
+        self.partitioner = partitioner
+        self.signature_bits = signature_bits
+        self.signature_bytes = (signature_bits + 7) // 8
+        self.engine = engine
+        self.block_entries = block_entries
+        self.batch_portions = batch_portions
+        self.monolithic_partitions = monolithic_partitions
+        self.resident_partitions = min(
+            resident_partitions, partitioner.num_partitions
+        )
+        self.spill_candidates = spill_candidates
+        self.verify_per_partition = verify_per_partition
+        self._resident_r: list[list[tuple[int, int]]] = []
+        self._resident_s: list[list[tuple[int, int]]] = []
+
+    # ------------------------------------------------------------------
+
+    def run(self, cold_cache: bool = True) -> tuple[set[tuple[int, int]], JoinMetrics]:
+        """Execute the join; returns (result pairs, metrics).
+
+        ``cold_cache`` drops the buffer pool first, reproducing the paper's
+        "cold cache" measurement protocol.
+        """
+        if cold_cache:
+            self.testbed.pool.drop_all()
+        metrics = JoinMetrics(
+            algorithm=self.partitioner.name,
+            num_partitions=self.partitioner.num_partitions,
+            r_size=len(self.testbed.relation_r),
+            s_size=len(self.testbed.relation_s),
+            signature_bits=self.signature_bits,
+        )
+        parts_r, parts_s = self._partition_phase(metrics)
+        if self.verify_per_partition:
+            result = self._join_and_verify_phase(parts_r, parts_s, metrics)
+            parts_r.drop()
+            parts_s.drop()
+            self._resident_r = []
+            self._resident_s = []
+        else:
+            candidates = self._join_phase(parts_r, parts_s, metrics)
+            # Partition data is temporary ("stored on disk temporarily");
+            # reclaim its pages before verification.
+            parts_r.drop()
+            parts_s.drop()
+            self._resident_r = []
+            self._resident_s = []
+            result = self._verification_phase(candidates, metrics)
+        metrics.result_size = len(result)
+        return result, metrics
+
+    # ------------------------------------------------------------------
+    # Phase 1: partitioning
+    # ------------------------------------------------------------------
+
+    def _partition_phase(
+        self, metrics: JoinMetrics
+    ) -> tuple[PartitionStore, PartitionStore]:
+        disk = self.testbed.disk
+        pool = self.testbed.pool
+        before = disk.stats.snapshot()
+        started = time.perf_counter()
+
+        resident = self.resident_partitions
+        self._resident_r = [[] for __ in range(resident)]
+        self._resident_s = [[] for __ in range(resident)]
+
+        parts_r = self._make_store()
+        for tid, elements, __ in self.testbed.relation_r.scan():
+            signature = signature_of(elements, self.signature_bits)
+            for index in self.partitioner.assign_r(elements):
+                if index < resident:
+                    self._resident_r[index].append((signature, tid))
+                else:
+                    parts_r.append(index, signature, tid)
+        parts_r.seal()
+
+        parts_s = self._make_store()
+        for tid, elements, __ in self.testbed.relation_s.scan():
+            signature = signature_of(elements, self.signature_bits)
+            for index in self.partitioner.assign_s(elements):
+                if index < resident:
+                    self._resident_s[index].append((signature, tid))
+                else:
+                    parts_s.append(index, signature, tid)
+        parts_s.seal()
+
+        pool.flush_all()
+        metrics.replicated_signatures = parts_r.total_entries + parts_s.total_entries
+        metrics.resident_signatures = sum(map(len, self._resident_r)) + sum(
+            map(len, self._resident_s)
+        )
+        metrics.partitioning = PhaseMetrics.from_io_delta(
+            time.perf_counter() - started, disk.stats.delta(before)
+        )
+        return parts_r, parts_s
+
+    def _make_store(self) -> PartitionStore:
+        return PartitionStore(
+            self.testbed.pool,
+            signature_bytes=self.signature_bytes,
+            num_partitions=self.partitioner.num_partitions,
+            monolithic=self.monolithic_partitions,
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 2: joining
+    # ------------------------------------------------------------------
+
+    def _join_phase(
+        self,
+        parts_r: PartitionStore,
+        parts_s: PartitionStore,
+        metrics: JoinMetrics,
+    ) -> "_CandidateSink":
+        disk = self.testbed.disk
+        before = disk.stats.snapshot()
+        started = time.perf_counter()
+        if self.spill_candidates:
+            candidates: _CandidateSink = _SpilledCandidates(self.testbed.pool)
+        else:
+            candidates = _SetCandidates()
+        for partition in range(self.partitioner.num_partitions):
+            if not self._partition_size_r(parts_r, partition):
+                continue
+            if not self._partition_size_s(parts_s, partition):
+                continue
+            for block in self._r_blocks(parts_r, partition):
+                self._join_block(block, parts_s, partition, metrics, candidates)
+        metrics.candidates = len(candidates)
+        metrics.joining = PhaseMetrics.from_io_delta(
+            time.perf_counter() - started, disk.stats.delta(before)
+        )
+        return candidates
+
+    def _join_and_verify_phase(
+        self,
+        parts_r: PartitionStore,
+        parts_s: PartitionStore,
+        metrics: JoinMetrics,
+    ) -> set[tuple[int, int]]:
+        """Interleaved mode: verify each partition's candidates right after
+        joining it, as the paper's testbed does.
+
+        A pair replicated into several partitions (possible under DCJ) is
+        verified only the first time it appears.
+        """
+        disk = self.testbed.disk
+        result: set[tuple[int, int]] = set()
+        seen: set[tuple[int, int]] = set()
+        join_seconds = 0.0
+        for partition in range(self.partitioner.num_partitions):
+            if not self._partition_size_r(parts_r, partition):
+                continue
+            if not self._partition_size_s(parts_s, partition):
+                continue
+            before = disk.stats.snapshot()
+            started = time.perf_counter()
+            fresh = _SetCandidates()
+            for block in self._r_blocks(parts_r, partition):
+                self._join_block(block, parts_s, partition, metrics, fresh)
+            join_seconds += time.perf_counter() - started
+            join_delta = disk.stats.delta(before)
+            metrics.joining.page_reads += join_delta.page_reads
+            metrics.joining.page_writes += join_delta.page_writes
+
+            before = disk.stats.snapshot()
+            started = time.perf_counter()
+            new_pairs = [
+                pair for pair in fresh.sorted_pairs() if pair not in seen
+            ]
+            seen.update(new_pairs)
+            r_sets = self.testbed.relation_r.fetch_many(
+                tid for tid, __ in new_pairs
+            )
+            s_sets = self.testbed.relation_s.fetch_many(
+                tid for __, tid in new_pairs
+            )
+            for r_tid, s_tid in new_pairs:
+                metrics.set_comparisons += 1
+                if r_sets[r_tid] <= s_sets[s_tid]:
+                    result.add((r_tid, s_tid))
+                else:
+                    metrics.false_positives += 1
+            metrics.verification.seconds += time.perf_counter() - started
+            verify_delta = disk.stats.delta(before)
+            metrics.verification.page_reads += verify_delta.page_reads
+            metrics.verification.page_writes += verify_delta.page_writes
+        metrics.joining.seconds = join_seconds
+        metrics.candidates = len(seen)
+        return result
+
+    def _partition_size_r(self, parts_r: PartitionStore, partition: int) -> int:
+        if partition < self.resident_partitions:
+            return len(self._resident_r[partition])
+        return parts_r.partition_size(partition)
+
+    def _partition_size_s(self, parts_s: PartitionStore, partition: int) -> int:
+        if partition < self.resident_partitions:
+            return len(self._resident_s[partition])
+        return parts_s.partition_size(partition)
+
+    def _r_blocks(
+        self, parts_r: PartitionStore, partition: int
+    ) -> Iterable[list[tuple[int, int]]]:
+        """Group the R side of a partition into memory-bounded blocks."""
+        if partition < self.resident_partitions:
+            entries = self._resident_r[partition]
+            for start in range(0, len(entries), self.block_entries):
+                yield entries[start : start + self.block_entries]
+            return
+        block: list[tuple[int, int]] = []
+        for batch in parts_r.scan_partition_batches(partition, self.batch_portions):
+            block.extend(batch)
+            if len(block) >= self.block_entries:
+                yield block
+                block = []
+        if block:
+            yield block
+
+    def _s_batches(
+        self, parts_s: PartitionStore, partition: int
+    ) -> Iterable[list[tuple[int, int]]]:
+        if partition < self.resident_partitions:
+            yield self._resident_s[partition]
+            return
+        yield from parts_s.scan_partition_batches(partition, self.batch_portions)
+
+    def _join_block(
+        self,
+        r_block: list[tuple[int, int]],
+        parts_s: PartitionStore,
+        partition: int,
+        metrics: JoinMetrics,
+        candidates: "_CandidateSink",
+    ) -> None:
+        if self.engine == "numpy":
+            packed_r = pack_signatures(
+                [signature for signature, __ in r_block], self.signature_bits
+            )
+            r_tids = np.array([tid for __, tid in r_block], dtype=np.int64)
+            words = packed_r.shape[1]
+            mask64 = (1 << 64) - 1
+            zero = np.uint64(0)
+            for s_batch in self._s_batches(parts_s, partition):
+                for s_sig, s_tid in s_batch:
+                    metrics.signature_comparisons += len(r_block)
+                    # sig(r) ⊆ᵇ sig(s)  ⟺  r_words & ~s_words == 0, per word.
+                    included = np.ones(len(r_block), dtype=bool)
+                    for word in range(words):
+                        not_s = np.uint64(~(s_sig >> (64 * word)) & mask64)
+                        included &= (packed_r[:, word] & not_s) == zero
+                    for r_tid in r_tids[included]:
+                        candidates.add(int(r_tid), s_tid)
+            return
+        for s_batch in self._s_batches(parts_s, partition):
+            for s_sig, s_tid in s_batch:
+                not_s = ~s_sig
+                for r_sig, r_tid in r_block:
+                    metrics.signature_comparisons += 1
+                    if r_sig & not_s == 0:
+                        candidates.add(r_tid, s_tid)
+
+    # ------------------------------------------------------------------
+    # Phase 3: verification
+    # ------------------------------------------------------------------
+
+    def _verification_phase(
+        self,
+        candidates: "_CandidateSink",
+        metrics: JoinMetrics,
+    ) -> set[tuple[int, int]]:
+        disk = self.testbed.disk
+        before = disk.stats.snapshot()
+        started = time.perf_counter()
+        pairs = list(candidates.sorted_pairs())
+        candidates.dispose()
+        r_sets = self.testbed.relation_r.fetch_many(tid for tid, __ in pairs)
+        s_sets = self.testbed.relation_s.fetch_many(tid for __, tid in pairs)
+        result: set[tuple[int, int]] = set()
+        for r_tid, s_tid in pairs:
+            metrics.set_comparisons += 1
+            if r_sets[r_tid] <= s_sets[s_tid]:
+                result.add((r_tid, s_tid))
+            else:
+                metrics.false_positives += 1
+        metrics.verification = PhaseMetrics.from_io_delta(
+            time.perf_counter() - started, disk.stats.delta(before)
+        )
+        return result
+
+
+class _CandidateSink:
+    """Deduplicating collector of candidate (r_tid, s_tid) pairs."""
+
+    def add(self, r_tid: int, s_tid: int) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def sorted_pairs(self) -> Iterable[tuple[int, int]]:
+        raise NotImplementedError
+
+    def dispose(self) -> None:
+        """Release any resources; the sink must not be used afterwards."""
+
+
+class _SetCandidates(_CandidateSink):
+    """Default: candidates kept in a main-memory set."""
+
+    def __init__(self):
+        self._pairs: set[tuple[int, int]] = set()
+
+    def add(self, r_tid: int, s_tid: int) -> None:
+        self._pairs.add((r_tid, s_tid))
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def sorted_pairs(self) -> Iterable[tuple[int, int]]:
+        return sorted(self._pairs)
+
+    def dispose(self) -> None:
+        self._pairs = set()
+
+
+class _SpilledCandidates(_CandidateSink):
+    """Candidates written to a temporary B-tree (Section 6's option of
+    separating the joining and verification phases through disk).
+
+    The B-tree key is the concatenated (r_tid, s_tid) pair, so duplicates
+    collapse and a scan yields pairs in verification order for free.
+    """
+
+    def __init__(self, pool):
+        from ..storage.btree import BTree
+
+        self._pool = pool
+        self._tree: BTree | None = BTree.create(pool)
+        self._count = 0
+
+    def add(self, r_tid: int, s_tid: int) -> None:
+        assert self._tree is not None
+        key = r_tid.to_bytes(8, "big") + s_tid.to_bytes(8, "big")
+        if self._tree.get(key) is None:
+            self._tree.insert(key, b"")
+            self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def sorted_pairs(self) -> Iterable[tuple[int, int]]:
+        assert self._tree is not None
+        for key, __ in self._tree.items():
+            yield int.from_bytes(key[:8], "big"), int.from_bytes(key[8:], "big")
+
+    def dispose(self) -> None:
+        if self._tree is not None:
+            self._tree.destroy()
+            self._tree = None
+
+
+def run_disk_join(
+    lhs: Relation,
+    rhs: Relation,
+    partitioner: Partitioner,
+    signature_bits: int = DEFAULT_SIGNATURE_BITS,
+    engine: str = "numpy",
+    buffer_pages: int = 512,
+    buffer_policy: str = "lru",
+    payload_size: int = DEFAULT_PAYLOAD_SIZE,
+    path: str | None = None,
+    monolithic_partitions: bool = False,
+    resident_partitions: int = 0,
+    spill_candidates: bool = False,
+    verify_per_partition: bool = False,
+) -> tuple[set[tuple[int, int]], JoinMetrics]:
+    """Convenience wrapper: build a testbed, load, join, tear down."""
+    with Testbed(path=path, buffer_pages=buffer_pages,
+                 buffer_policy=buffer_policy) as testbed:
+        testbed.load(lhs, rhs, payload_size=payload_size)
+        join = SetContainmentJoin(
+            testbed,
+            partitioner,
+            signature_bits=signature_bits,
+            engine=engine,
+            monolithic_partitions=monolithic_partitions,
+            resident_partitions=resident_partitions,
+            spill_candidates=spill_candidates,
+            verify_per_partition=verify_per_partition,
+        )
+        return join.run()

@@ -1,0 +1,113 @@
+"""Partitioning interfaces and in-memory partition assignments.
+
+A partitioning algorithm decomposes ``R ⋈⊆ S`` into ``k`` independent
+subtasks ``R_i ⋈ S_i``.  It must be *correct*: every joining pair
+``r ⊆ s`` must be co-located in at least one partition.  Its quality is
+measured by
+
+* the **comparison factor** -- Σᵢ |R_i|·|S_i| divided by |R|·|S| (CPU
+  proxy), and
+* the **replication factor** -- total signatures written across all
+  partitions divided by |R| + |S| (I/O proxy).
+
+Concrete partitioners (:mod:`repro.core.dcj`, ``psj``, ``lsj``) implement
+:class:`Partitioner`; :class:`PartitionAssignment` materializes an
+assignment in memory for analysis, worked examples and the model-accuracy
+simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import ConfigurationError
+from .sets import Relation
+
+__all__ = ["Partitioner", "PartitionAssignment"]
+
+
+class Partitioner:
+    """One partitioning algorithm configured for ``k`` partitions."""
+
+    name: str = "abstract"
+
+    def __init__(self, num_partitions: int):
+        if num_partitions < 1:
+            raise ConfigurationError(
+                f"number of partitions must be >= 1, got {num_partitions}"
+            )
+        self.num_partitions = num_partitions
+
+    def assign_r(self, elements: frozenset[int]) -> list[int]:
+        """Partitions for a tuple of R (the subset side)."""
+        raise NotImplementedError
+
+    def assign_s(self, elements: frozenset[int]) -> list[int]:
+        """Partitions for a tuple of S (the superset side)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{self.name}(k={self.num_partitions})"
+
+
+@dataclass
+class PartitionAssignment:
+    """A materialized partition assignment with its quality measures."""
+
+    num_partitions: int
+    r_partitions: list[list[int]]  # per partition: tids from R
+    s_partitions: list[list[int]]  # per partition: tids from S
+    r_size: int
+    s_size: int
+
+    @classmethod
+    def compute(
+        cls, partitioner: Partitioner, lhs: Relation, rhs: Relation
+    ) -> "PartitionAssignment":
+        """Assign every tuple of both relations."""
+        k = partitioner.num_partitions
+        r_parts: list[list[int]] = [[] for __ in range(k)]
+        s_parts: list[list[int]] = [[] for __ in range(k)]
+        for row in lhs:
+            for index in partitioner.assign_r(row.elements):
+                r_parts[index].append(row.tid)
+        for row in rhs:
+            for index in partitioner.assign_s(row.elements):
+                s_parts[index].append(row.tid)
+        return cls(k, r_parts, s_parts, len(lhs), len(rhs))
+
+    @property
+    def comparisons(self) -> int:
+        """Σ |R_i| · |S_i| — nested-loop signature comparisons."""
+        return sum(
+            len(r) * len(s) for r, s in zip(self.r_partitions, self.s_partitions)
+        )
+
+    @property
+    def replicated_signatures(self) -> int:
+        """Total signatures stored across all partitions of both relations."""
+        return sum(map(len, self.r_partitions)) + sum(map(len, self.s_partitions))
+
+    @property
+    def comparison_factor(self) -> float:
+        denominator = self.r_size * self.s_size
+        return self.comparisons / denominator if denominator else 0.0
+
+    @property
+    def replication_factor(self) -> float:
+        denominator = self.r_size + self.s_size
+        return self.replicated_signatures / denominator if denominator else 0.0
+
+    def candidate_pairs(self) -> set[tuple[int, int]]:
+        """All (r_tid, s_tid) pairs co-located in at least one partition."""
+        pairs: set[tuple[int, int]] = set()
+        for r_part, s_part in zip(self.r_partitions, self.s_partitions):
+            for r_tid in r_part:
+                for s_tid in s_part:
+                    pairs.add((r_tid, s_tid))
+        return pairs
+
+    def covers(self, joining_pairs: Iterable[tuple[int, int]]) -> bool:
+        """Correctness check: does the assignment co-locate every joining pair?"""
+        return set(joining_pairs) <= self.candidate_pairs()

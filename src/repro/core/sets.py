@@ -1,0 +1,162 @@
+"""Set-valued tuples and in-memory relations.
+
+A *relation with a set-valued attribute* is the paper's input object: each
+tuple carries a tuple identifier (tid), a set of non-negative integers, and
+(on disk) a fixed payload.  This module provides the lightweight in-memory
+representation used by the algorithms, generators and analysis; the
+disk-resident form lives in :mod:`repro.storage.relation_store`.
+
+Non-integer element domains (strings, XML element names, course codes...)
+are supported by hashing them onto integers first, exactly as the paper's
+footnote suggests; see :func:`elements_from_values`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "SetTuple",
+    "Relation",
+    "hash_value_to_element",
+    "elements_from_values",
+    "containment_pairs_nested_loop",
+]
+
+
+def hash_value_to_element(value, domain_size: int = 2**32) -> int:
+    """Map an arbitrary hashable value onto the integer element domain.
+
+    Deterministic across processes (unlike builtin ``hash``), which keeps
+    generated datasets and examples reproducible.
+    """
+    digest = hashlib.blake2b(repr(value).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % domain_size
+
+
+def elements_from_values(values: Iterable, domain_size: int = 2**32) -> frozenset[int]:
+    """Encode a set of arbitrary values as a set of integer elements."""
+    return frozenset(hash_value_to_element(v, domain_size) for v in values)
+
+
+@dataclass(frozen=True)
+class SetTuple:
+    """One tuple: identifier plus set-valued attribute."""
+
+    tid: int
+    elements: frozenset[int]
+
+    def __post_init__(self):
+        if self.tid < 0:
+            raise ConfigurationError(f"tid must be non-negative, got {self.tid}")
+        if not isinstance(self.elements, frozenset):
+            object.__setattr__(self, "elements", frozenset(self.elements))
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.elements)
+
+    def is_subset_of(self, other: "SetTuple") -> bool:
+        """The join predicate: ``self.elements ⊆ other.elements``."""
+        return self.elements <= other.elements
+
+
+class Relation:
+    """An ordered collection of :class:`SetTuple` with unique tids."""
+
+    def __init__(self, tuples: Iterable[SetTuple] = (), name: str = ""):
+        self.name = name
+        self._tuples: list[SetTuple] = []
+        self._by_tid: dict[int, SetTuple] = {}
+        for row in tuples:
+            self.add(row)
+
+    @classmethod
+    def from_sets(
+        cls,
+        sets: Iterable[Iterable[int]],
+        name: str = "",
+        start_tid: int = 0,
+    ) -> "Relation":
+        """Build a relation from raw sets, assigning sequential tids."""
+        relation = cls(name=name)
+        for offset, elements in enumerate(sets):
+            relation.add(SetTuple(start_tid + offset, frozenset(elements)))
+        return relation
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping, name: str = "") -> "Relation":
+        """Build a relation from ``{tid: iterable_of_elements}``."""
+        relation = cls(name=name)
+        for tid in sorted(mapping):
+            relation.add(SetTuple(tid, frozenset(mapping[tid])))
+        return relation
+
+    def add(self, row: SetTuple) -> None:
+        if row.tid in self._by_tid:
+            raise ConfigurationError(f"duplicate tid {row.tid} in relation {self.name!r}")
+        self._tuples.append(row)
+        self._by_tid[row.tid] = row
+
+    def __iter__(self) -> Iterator[SetTuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __getitem__(self, tid: int) -> SetTuple:
+        return self._by_tid[tid]
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._by_tid
+
+    def tids(self) -> list[int]:
+        return [row.tid for row in self._tuples]
+
+    def average_cardinality(self) -> float:
+        """Mean set cardinality (the paper's θ for this relation)."""
+        if not self._tuples:
+            return 0.0
+        return sum(row.cardinality for row in self._tuples) / len(self._tuples)
+
+    def max_cardinality(self) -> int:
+        return max((row.cardinality for row in self._tuples), default=0)
+
+    def domain_bound(self) -> int:
+        """Smallest D such that all elements lie in [0, D)."""
+        top = 0
+        for row in self._tuples:
+            if row.elements:
+                top = max(top, max(row.elements))
+        return top + 1
+
+    def sample_cardinality(self, sample_size: int, seed: int = 0) -> float:
+        """Estimate average cardinality from a sample, as the optimizer's
+        step 2 ("using sampling or available statistics") prescribes."""
+        import random
+
+        if not self._tuples:
+            return 0.0
+        rng = random.Random(seed)
+        size = min(sample_size, len(self._tuples))
+        sample = rng.sample(self._tuples, size)
+        return sum(row.cardinality for row in sample) / size
+
+
+def containment_pairs_nested_loop(
+    lhs: Relation, rhs: Relation
+) -> set[tuple[int, int]]:
+    """Reference result: all (r.tid, s.tid) with r ⊆ s, by brute force.
+
+    Quadratic; used as ground truth in tests and tiny examples.
+    """
+    return {
+        (r.tid, s.tid)
+        for r in lhs
+        for s in rhs
+        if r.elements <= s.elements
+    }

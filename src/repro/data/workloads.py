@@ -1,0 +1,201 @@
+"""Named workloads used by the paper's experiments.
+
+Each workload names a (R-spec, S-spec, seed, planted pairs) combination.
+``case_study()`` is the exact configuration of the paper's Figures 8/9:
+|R| = |S| = 10000, uniform element domain of size 10000, uniformly
+distributed set cardinalities 45..55 in R and 90..110 in S (θ_R = 50,
+θ_S = 100).  ``scale`` shrinks the relation sizes proportionally so the
+whole harness runs quickly in pure Python; the paper's shapes (who wins,
+where the optimum k sits) are preserved because they depend on factors,
+not absolute sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.sets import Relation
+from ..errors import ConfigurationError
+from .distributions import (
+    UniformCardinality,
+    UniformElements,
+    cardinality_distribution,
+    element_distribution,
+)
+from .generator import RelationSpec, generate_join_pair
+
+__all__ = [
+    "Workload",
+    "case_study",
+    "uniform_workload",
+    "accuracy_workload",
+    "text_corpus_workload",
+    "biochemical_workload",
+]
+
+CASE_STUDY_SIZE = 10_000
+CASE_STUDY_DOMAIN = 10_000
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A reproducible join input: two specs, a seed and planted pairs."""
+
+    r_spec: RelationSpec
+    s_spec: RelationSpec
+    seed: int = 0
+    planted_pairs: int = 0
+    label: str = ""
+
+    def materialize(self) -> tuple[Relation, Relation]:
+        return generate_join_pair(
+            self.r_spec, self.s_spec, seed=self.seed,
+            planted_pairs=self.planted_pairs,
+        )
+
+    @property
+    def theta_r(self) -> float:
+        return self.r_spec.cardinality.mean()
+
+    @property
+    def theta_s(self) -> float:
+        return self.s_spec.cardinality.mean()
+
+
+def case_study(scale: float = 1.0, seed: int = 7, planted_pairs: int = 5) -> Workload:
+    """The Section 5 case-study workload, optionally scaled down in size."""
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be > 0, got {scale}")
+    size = max(16, int(CASE_STUDY_SIZE * scale))
+    return Workload(
+        r_spec=RelationSpec(
+            size,
+            UniformCardinality(45, 55),
+            UniformElements(CASE_STUDY_DOMAIN),
+            name="R",
+        ),
+        s_spec=RelationSpec(
+            size,
+            UniformCardinality(90, 110),
+            UniformElements(CASE_STUDY_DOMAIN),
+            name="S",
+        ),
+        seed=seed,
+        planted_pairs=planted_pairs,
+        label=f"case_study(x{scale:g})",
+    )
+
+
+def uniform_workload(
+    r_size: int,
+    s_size: int,
+    theta_r: int,
+    theta_s: int,
+    domain_size: int = 10_000,
+    seed: int = 0,
+    planted_pairs: int = 0,
+) -> Workload:
+    """Uniform elements, constant cardinalities — the model's home turf."""
+    return Workload(
+        r_spec=RelationSpec.uniform(r_size, theta_r, domain_size, name="R"),
+        s_spec=RelationSpec.uniform(s_size, theta_s, domain_size, name="S"),
+        seed=seed,
+        planted_pairs=planted_pairs,
+        label=f"uniform(|R|={r_size},|S|={s_size},θR={theta_r},θS={theta_s})",
+    )
+
+
+def text_corpus_workload(
+    num_queries: int = 300,
+    num_documents: int = 500,
+    vocabulary: int = 20_000,
+    seed: int = 0,
+    planted_pairs: int = 5,
+) -> Workload:
+    """Keyword queries vs documents-as-word-sets (paper's intro: "text or
+    XML documents ... viewed as sets of words").
+
+    Zipf-distributed word ids, small query sets against bimodal document
+    lengths — the small-θ_R / moderate-θ_S regime.
+    """
+    from .distributions import BimodalCardinality, ZipfElements
+
+    return Workload(
+        r_spec=RelationSpec(
+            num_queries,
+            UniformCardinality(2, 5),
+            ZipfElements(vocabulary, skew=0.7),
+            name="Queries",
+        ),
+        s_spec=RelationSpec(
+            num_documents,
+            BimodalCardinality(60, 300, high_fraction=0.2),
+            ZipfElements(vocabulary, skew=0.7),
+            name="Documents",
+        ),
+        seed=seed,
+        planted_pairs=planted_pairs,
+        label="text_corpus",
+    )
+
+
+def biochemical_workload(
+    num_signatures: int = 200,
+    num_snapshots: int = 100,
+    num_genes: int = 5_000,
+    seed: int = 0,
+    planted_pairs: int = 5,
+) -> Workload:
+    """Pathway signatures vs gene-expression snapshots (paper's intro:
+    "biochemical databases contain sets with many thousands elements").
+
+    Large supersets (most of the genome active per snapshot) — the regime
+    where the paper shows PSJ collapsing and DCJ winning.
+    """
+    from .distributions import NormalCardinality
+
+    return Workload(
+        r_spec=RelationSpec(
+            num_signatures,
+            UniformCardinality(20, 80),
+            UniformElements(num_genes),
+            name="Pathways",
+        ),
+        s_spec=RelationSpec(
+            num_snapshots,
+            NormalCardinality(int(num_genes * 0.75), num_genes * 0.03),
+            UniformElements(num_genes),
+            name="Snapshots",
+        ),
+        seed=seed,
+        planted_pairs=planted_pairs,
+        label="biochemical",
+    )
+
+
+def accuracy_workload(
+    element_kind: str,
+    cardinality_kind: str,
+    size: int = 1000,
+    theta_r: int = 20,
+    theta_s: int = 40,
+    domain_size: int = 20_000,
+    seed: int = 0,
+) -> Workload:
+    """One cell of the 5 x 5 accuracy-study grid (Section 4)."""
+    return Workload(
+        r_spec=RelationSpec(
+            size,
+            cardinality_distribution(cardinality_kind, theta_r),
+            element_distribution(element_kind, domain_size),
+            name="R",
+        ),
+        s_spec=RelationSpec(
+            size,
+            cardinality_distribution(cardinality_kind, theta_s),
+            element_distribution(element_kind, domain_size),
+            name="S",
+        ),
+        seed=seed,
+        label=f"accuracy({element_kind},{cardinality_kind})",
+    )

@@ -1,0 +1,225 @@
+"""A small persistent database of set-valued relations.
+
+The paper implements its join as an operator over relations stored in a
+storage manager; this module provides the surrounding shell a downstream
+user needs: a single file holding many named relations (catalog + B-trees),
+with set containment joins — planned by the paper's optimizer — running
+directly over the stored data.
+
+    from repro.database import SetJoinDatabase
+
+    with SetJoinDatabase.open("courses.db") as db:
+        db.create_relation("prereq", prereq_relation)
+        db.create_relation("attended", attended_relation)
+        print(db.explain("prereq", "attended"))
+        pairs, metrics = db.join("prereq", "attended")
+
+``path=None`` gives an in-memory database with identical behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from .analysis.timemodel import PAPER_TIME_MODEL, TimeModel
+from .core.metrics import JoinMetrics
+from .core.operator import SetContainmentJoin, Testbed
+from .core.optimizer import JoinPlan, plan_from_statistics
+from .core.sets import Relation, SetTuple
+from .core.signatures import DEFAULT_SIGNATURE_BITS
+from .errors import ConfigurationError
+from .storage.buffer import BufferPool
+from .storage.catalog import Catalog
+from .storage.pager import FileDiskManager, InMemoryDiskManager
+from .storage.relation_store import DEFAULT_PAYLOAD_SIZE, RelationStore
+
+__all__ = ["SetJoinDatabase"]
+
+_STATS_SAMPLE = 200
+
+
+class SetJoinDatabase:
+    """Catalog of named, disk-resident set-valued relations."""
+
+    def __init__(
+        self,
+        path: str | None = None,
+        page_size: int = 4096,
+        buffer_pages: int = 512,
+        buffer_policy: str = "lru",
+        model: TimeModel = PAPER_TIME_MODEL,
+    ):
+        if path is None:
+            self.disk = InMemoryDiskManager(page_size)
+        else:
+            self.disk = FileDiskManager(path, page_size)
+        self.pool = BufferPool(self.disk, capacity=buffer_pages,
+                               policy=buffer_policy)
+        self.catalog = Catalog(self.pool)
+        self.model = model
+        self._closed = False
+
+    @classmethod
+    def open(cls, path: str | None = None, **kwargs) -> "SetJoinDatabase":
+        """Open (creating if needed) a database file."""
+        return cls(path, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Relation management
+    # ------------------------------------------------------------------
+
+    def create_relation(
+        self,
+        name: str,
+        rows: Relation | Iterable[tuple[int, Iterable[int]]],
+        payload_size: int = DEFAULT_PAYLOAD_SIZE,
+    ) -> int:
+        """Store a new named relation; returns the tuple count.
+
+        ``rows`` is either an in-memory :class:`Relation` or an iterable of
+        ``(tid, elements)`` pairs (streamed; never fully materialized).
+        """
+        self._check_open()
+        if name in self.catalog:
+            raise ConfigurationError(f"relation {name!r} already exists")
+        store = RelationStore.create(self.pool, name=name)
+        if isinstance(rows, Relation):
+            rows = ((row.tid, row.elements) for row in rows)
+        count = store.bulk_load(rows, payload_size)
+        self.catalog.register(name, store.meta_page_id, count)
+        self.pool.flush_all()
+        return count
+
+    def get_store(self, name: str) -> RelationStore:
+        """The stored relation's access object."""
+        self._check_open()
+        entry = self.catalog.lookup(name)
+        if entry is None:
+            raise ConfigurationError(f"no relation named {name!r}")
+        meta_page_id, __ = entry
+        return RelationStore(self.pool, meta_page_id, name=name)
+
+    def read_relation(self, name: str) -> Relation:
+        """Materialize a stored relation in memory."""
+        store = self.get_store(name)
+        relation = Relation(name=name)
+        for tid, elements, __ in store.scan():
+            relation.add(SetTuple(tid, elements))
+        return relation
+
+    def drop_relation(self, name: str) -> None:
+        """Remove a relation from the catalog and free its pages."""
+        self._check_open()
+        entry = self.catalog.lookup(name)
+        if entry is None:
+            raise ConfigurationError(f"no relation named {name!r}")
+        meta_page_id, __ = entry
+        from .storage.btree import BTree
+
+        BTree(self.pool, meta_page_id).destroy()
+        self.catalog.unregister(name)
+        self.pool.flush_all()
+
+    def relation_names(self) -> list[str]:
+        self._check_open()
+        return list(self.catalog.names())
+
+    def relation_size(self, name: str) -> int:
+        entry = self.catalog.lookup(name)
+        if entry is None:
+            raise ConfigurationError(f"no relation named {name!r}")
+        return entry[1]
+
+    # ------------------------------------------------------------------
+    # Planning and joining
+    # ------------------------------------------------------------------
+
+    def _statistics(self, name: str, seed: int = 0) -> tuple[int, float]:
+        """(size, sampled average cardinality) for one stored relation."""
+        size = self.relation_size(name)
+        store = self.get_store(name)
+        rng = random.Random(seed)
+        cardinalities = []
+        for index, (__, elements, __payload) in enumerate(store.scan()):
+            if index >= _STATS_SAMPLE * 4:
+                break
+            if index < _STATS_SAMPLE or rng.random() < 0.25:
+                cardinalities.append(len(elements))
+        if not cardinalities:
+            return size, 0.0
+        return size, sum(cardinalities) / len(cardinalities)
+
+    def plan(self, r_name: str, s_name: str) -> JoinPlan:
+        """Run the optimizer over the stored relations' statistics."""
+        self._check_open()
+        r_size, theta_r = self._statistics(r_name)
+        s_size, theta_s = self._statistics(s_name, seed=1)
+        return plan_from_statistics(
+            r_size, s_size, theta_r, theta_s, self.model
+        )
+
+    def explain(self, r_name: str, s_name: str) -> str:
+        """EXPLAIN text for the join of two stored relations."""
+        return self.plan(r_name, s_name).explain()
+
+    def join(
+        self,
+        r_name: str,
+        s_name: str,
+        algorithm: str = "auto",
+        num_partitions: int | None = None,
+        signature_bits: int = DEFAULT_SIGNATURE_BITS,
+        engine: str = "numpy",
+        seed: int = 0,
+    ) -> tuple[set[tuple[int, int]], JoinMetrics]:
+        """Set containment join of two stored relations (R ⊆ S side order).
+
+        Runs directly over the stored B-trees; temporary partition data is
+        written into the same file and reclaimed afterwards.
+        """
+        self._check_open()
+        if algorithm == "auto":
+            partitioner = self.plan(r_name, s_name).build_partitioner(seed=seed)
+        else:
+            from .core.modulo import dcj_with_any_k, lsj_with_any_k
+            from .core.psj import PSJPartitioner
+
+            k = num_partitions or 32
+            __, theta_r = self._statistics(r_name)
+            __, theta_s = self._statistics(s_name, seed=1)
+            theta_r = max(theta_r, 1.0)
+            theta_s = max(theta_s, 1.0)
+            if algorithm == "PSJ":
+                partitioner = PSJPartitioner(k, seed=seed)
+            elif algorithm == "DCJ":
+                partitioner = dcj_with_any_k(k, theta_r, theta_s)
+            elif algorithm == "LSJ":
+                partitioner = lsj_with_any_k(k, theta_r, theta_s)
+            else:
+                raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+        testbed = Testbed.from_components(
+            self.disk, self.pool, self.get_store(r_name), self.get_store(s_name)
+        )
+        join = SetContainmentJoin(
+            testbed, partitioner, signature_bits=signature_bits, engine=engine
+        )
+        return join.run(cold_cache=False)
+
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError("database is closed")
+
+    def close(self) -> None:
+        if not self._closed:
+            self.pool.flush_all()
+            self.disk.close()
+            self._closed = True
+
+    def __enter__(self) -> "SetJoinDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

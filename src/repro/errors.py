@@ -1,0 +1,49 @@
+"""Exception hierarchy for the set-containment-join library.
+
+All library-specific errors derive from :class:`SetJoinError` so callers can
+catch one base class.  Substrate layers (storage, data generation, analysis)
+have their own subclasses to make failure origins obvious in tracebacks.
+"""
+
+from __future__ import annotations
+
+
+class SetJoinError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(SetJoinError):
+    """Invalid parameters supplied to an algorithm or component."""
+
+
+class StorageError(SetJoinError):
+    """Base class for storage-substrate failures."""
+
+
+class PageError(StorageError):
+    """Malformed page access: bad page id, overflow, or corrupt header."""
+
+
+class BufferPoolError(StorageError):
+    """Buffer-pool misuse, e.g. all frames pinned or double unpin."""
+
+
+class BTreeError(StorageError):
+    """B-tree structural errors or oversized entries."""
+
+
+class SerializationError(StorageError):
+    """Record could not be encoded or decoded."""
+
+
+class MemoryLimitExceeded(SetJoinError):
+    """A main-memory algorithm exceeded its configured memory budget.
+
+    Raised by SHJ (the Helmer/Moerkotte main-memory join) when the input
+    relations do not fit in the configured budget -- the very limitation
+    that motivates the disk-based LSJ and DCJ algorithms.
+    """
+
+
+class CalibrationError(SetJoinError):
+    """The time-model calibration could not fit the measured data points."""

@@ -1,0 +1,45 @@
+"""Experiment harness: one module per reproduced figure/table.
+
+Importing this package registers every experiment; run one with::
+
+    python -m repro.experiments fig8
+    python -m repro.experiments --list
+
+or through the CLI (``setjoins experiment fig8``).
+"""
+
+from . import (  # noqa: F401  (imported for registration side effects)
+    ablations,
+    accuracy,
+    baselines,
+    calibration,
+    case_study,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig10,
+    optimizer_demo,
+    prediction,
+    scaling,
+    scorecard,
+    worked_example,
+)
+from .plotting import ascii_chart, plot_result
+from .base import (
+    EXPERIMENTS,
+    ExperimentResult,
+    experiment_ids,
+    format_table,
+    get_experiment,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "experiment_ids",
+    "format_table",
+    "get_experiment",
+    "ascii_chart",
+    "plot_result",
+]

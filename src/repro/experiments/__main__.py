@@ -1,0 +1,58 @@
+"""Run experiments from the command line: ``python -m repro.experiments fig8``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import experiment_ids, get_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate a figure/table from the paper.",
+    )
+    parser.add_argument("experiment", nargs="?", help="experiment id (see --list)")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="relation-size scale for testbed experiments (fig8/fig9)",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every registered experiment"
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="also write <id>.txt and <id>.tsv files into DIR",
+    )
+    arguments = parser.parse_args(argv)
+
+    if arguments.list:
+        print("\n".join(experiment_ids()))
+        return 0
+    if arguments.all:
+        for experiment_id in experiment_ids():
+            result = get_experiment(experiment_id)()
+            print(result.render())
+            print()
+            if arguments.out:
+                result.save(arguments.out)
+        return 0
+    if not arguments.experiment:
+        parser.print_help()
+        return 2
+    run = get_experiment(arguments.experiment)
+    kwargs = {}
+    if arguments.scale is not None and arguments.experiment in ("fig8", "fig9"):
+        kwargs["scale"] = arguments.scale
+    result = run(**kwargs)
+    print(result.render())
+    if arguments.out:
+        txt_path, tsv_path = result.save(arguments.out)
+        print(f"\nwrote {txt_path} and {tsv_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

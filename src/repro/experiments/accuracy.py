@@ -1,0 +1,91 @@
+"""Accuracy of the analytical model (Section 4).
+
+Simulates DCJ and PSJ partitioning over the 5 x 5 grid of element and
+cardinality distributions and compares the measured comparison and
+replication factors with the Table 7 predictions.  The paper found
+predictions "within 15% of the actual values" for a variety of scenarios,
+with DCJ more sensitive to distribution changes than PSJ.
+"""
+
+from __future__ import annotations
+
+from ..analysis.simulate import simulate_factors
+from ..data.distributions import CARDINALITY_DISTRIBUTIONS, ELEMENT_DISTRIBUTIONS
+from ..data.workloads import accuracy_workload
+from .base import ExperimentResult, register
+
+__all__ = ["run"]
+
+
+@register("accuracy")
+def run(
+    size: int = 600,
+    theta_r: int = 20,
+    theta_s: int = 40,
+    k: int = 32,
+    seed: int = 5,
+    element_kinds=ELEMENT_DISTRIBUTIONS,
+    cardinality_kinds=CARDINALITY_DISTRIBUTIONS,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="accuracy",
+        title=f"Model accuracy over distribution grid (k={k}, "
+        f"θ_R={theta_r}, θ_S={theta_s}, |R|=|S|={size})",
+        columns=[
+            "elements", "cardinalities", "algorithm",
+            "comp_measured", "comp_predicted", "comp_err",
+            "repl_measured", "repl_predicted", "repl_err",
+        ],
+    )
+    errors = {"DCJ": [], "PSJ": []}
+    for element_kind in element_kinds:
+        for cardinality_kind in cardinality_kinds:
+            workload = accuracy_workload(
+                element_kind, cardinality_kind,
+                size=size, theta_r=theta_r, theta_s=theta_s, seed=seed,
+            )
+            lhs, rhs = workload.materialize()
+            for algorithm in ("DCJ", "PSJ"):
+                observation = simulate_factors(
+                    algorithm, lhs, rhs, k, seed=seed,
+                    theta_r=theta_r, theta_s=theta_s,
+                )
+                errors[algorithm].append(
+                    max(observation.comparison_error, observation.replication_error)
+                )
+                result.rows.append(
+                    {
+                        "elements": element_kind,
+                        "cardinalities": cardinality_kind,
+                        "algorithm": algorithm,
+                        "comp_measured": observation.measured_comparison,
+                        "comp_predicted": observation.predicted_comparison,
+                        "comp_err": observation.comparison_error,
+                        "repl_measured": observation.measured_replication,
+                        "repl_predicted": observation.predicted_replication,
+                        "repl_err": observation.replication_error,
+                    }
+                )
+
+    mean_dcj = sum(errors["DCJ"]) / len(errors["DCJ"])
+    mean_psj = sum(errors["PSJ"]) / len(errors["PSJ"])
+    result.check("mean prediction error within the paper's ~15%",
+                 mean_dcj <= 0.15 and mean_psj <= 0.15)
+    result.check("DCJ more sensitive to distribution changes than PSJ",
+                 mean_dcj >= mean_psj)
+    result.paper_claims = [
+        "Predictions lie within ~15% of actual values across the grid "
+        f"[measured mean worst-of-both error: DCJ {mean_dcj:.1%}, "
+        f"PSJ {mean_psj:.1%}]",
+        "DCJ tends to be more negatively affected by varying the "
+        f"distributions than PSJ [measured: DCJ mean error "
+        f"{'>' if mean_dcj > mean_psj else '<='} PSJ mean error]",
+    ]
+    result.notes = [
+        "Uniform elements + constant cardinalities is the model's exact "
+        "regime; the other 24 cells probe robustness to assumption "
+        "violations.  Heavily skewed element distributions (self-similar, "
+        "clustered) break the independent-uniform-bits assumption and can "
+        "exceed 15% for DCJ, mirroring the paper's observation.",
+    ]
+    return result

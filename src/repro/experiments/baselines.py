@@ -1,0 +1,92 @@
+"""Baseline lineage: SQL-unnested → SHJ → PSJ → DCJ on one workload.
+
+The paper's introduction compresses a decade of prior work: SQL over the
+unnested representation is "very expensive" [RPNK00], SHJ fixed that in
+main memory [HM97], PSJ took it to disk [RPNK00], and DCJ is the paper's
+contribution.  This experiment runs the whole lineage on one workload so
+the orders-of-magnitude structure is visible in a single table.
+"""
+
+from __future__ import annotations
+
+from ..analysis.simulate import make_partitioner
+from ..core.nested_loop import naive_join, signature_nested_loop_join
+from ..core.operator import run_disk_join
+from ..core.shj import shj_join
+from ..core.unnested import sql_unnested_join
+from ..data.workloads import uniform_workload
+from .base import ExperimentResult, register
+
+__all__ = ["run"]
+
+
+@register("baselines")
+def run(size: int = 400, theta_r: int = 20, theta_s: int = 40,
+        k: int = 32, seed: int = 19) -> ExperimentResult:
+    lhs, rhs = uniform_workload(
+        size, size, theta_r, theta_s, domain_size=1_000, seed=seed,
+        planted_pairs=4,
+    ).materialize()
+
+    result = ExperimentResult(
+        experiment_id="baselines",
+        title=f"Algorithm lineage on one workload (|R|=|S|={size}, "
+        f"θ_R={theta_r}, θ_S={theta_s})",
+        columns=["algorithm", "t_total_s", "work_measure", "work",
+                 "candidates", "results"],
+    )
+
+    def add(name, metrics, work_measure, work):
+        result.rows.append(
+            {
+                "algorithm": name,
+                "t_total_s": metrics.total_seconds,
+                "work_measure": work_measure,
+                "work": work,
+                "candidates": metrics.candidates,
+                "results": metrics.result_size,
+            }
+        )
+
+    reference, naive_metrics = naive_join(lhs, rhs)
+    add("NaiveNL", naive_metrics, "set comparisons",
+        naive_metrics.set_comparisons)
+
+    pairs, metrics = sql_unnested_join(lhs, rhs)
+    assert pairs == reference
+    add("SQL-unnested", metrics, "element-join rows",
+        metrics.signature_comparisons)
+
+    pairs, metrics = signature_nested_loop_join(lhs, rhs)
+    assert pairs == reference
+    add("SigNL", metrics, "signature comparisons",
+        metrics.signature_comparisons)
+
+    pairs, metrics = shj_join(lhs, rhs, signature_bits=10)
+    assert pairs == reference
+    add("SHJ", metrics, "probe hits", metrics.signature_comparisons)
+
+    for algorithm in ("PSJ", "DCJ"):
+        partitioner = make_partitioner(algorithm, k, theta_r, theta_s,
+                                       seed=seed)
+        pairs, metrics = run_disk_join(lhs, rhs, partitioner)
+        assert pairs == reference
+        add(algorithm, metrics, "signature comparisons",
+            metrics.signature_comparisons)
+
+    result.check("all six algorithms return the identical result",
+                 len({row["results"] for row in result.rows}) == 1)
+    by_name = {row["algorithm"]: row for row in result.rows}
+    result.check(
+        "the SQL-unnested plan's intermediate dwarfs its output",
+        by_name["SQL-unnested"]["work"]
+        > 10 * max(1, by_name["SQL-unnested"]["results"]),
+    )
+    result.paper_claims = [
+        "\"Naive or standard-SQL approaches to computing set containment "
+        "queries are very expensive\" [HM97, RPNK00]: the SQL-unnested "
+        "plan's element-level join materializes far more rows than the "
+        "partitioned algorithms compare signatures.",
+        "All algorithms return identical results (asserted).",
+    ]
+    return result

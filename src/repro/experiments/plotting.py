@@ -1,0 +1,138 @@
+"""Terminal (ASCII) line charts for the regenerated figures.
+
+The paper's artifacts are figures; this module renders an
+:class:`~repro.experiments.base.ExperimentResult`'s numeric columns as a
+character-cell chart so ``setjoins experiment fig6 --plot`` shows the
+curves, not just the table.  Pure standard library, no display needed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from .base import ExperimentResult
+
+__all__ = ["ascii_chart", "plot_result"]
+
+_MARKERS = "*+ox#@%&"
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    if abs(value) >= 10:
+        return f"{value:.0f}"
+    return f"{value:.2f}"
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    x_label: str = "",
+) -> str:
+    """Render one or more y-series over shared x-values as ASCII art.
+
+    Points are plotted with one marker character per series; the legend
+    maps markers to series names.  ``log_x`` spaces the x-axis
+    logarithmically (natural for the paper's k sweeps).
+    """
+    if not x_values:
+        raise ConfigurationError("nothing to plot: no x values")
+    if not series:
+        raise ConfigurationError("nothing to plot: no series")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} points, "
+                f"expected {len(x_values)}"
+            )
+    if log_x and any(x <= 0 for x in x_values):
+        raise ConfigurationError("log_x requires positive x values")
+
+    xs = [math.log10(x) for x in x_values] if log_x else list(x_values)
+    x_lo, x_hi = min(xs), max(xs)
+    x_span = (x_hi - x_lo) or 1.0
+    all_y = [y for values in series.values() for y in values]
+    y_lo, y_hi = min(all_y), max(all_y)
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for __ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(xs, values):
+            column = round((x - x_lo) / x_span * (width - 1))
+            row = round((y - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    top_tick = _format_tick(y_hi)
+    bottom_tick = _format_tick(y_lo)
+    gutter = max(len(top_tick), len(bottom_tick)) + 1
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_tick
+        elif row_index == height - 1:
+            label = bottom_tick
+        else:
+            label = ""
+        lines.append(label.rjust(gutter) + " |" + "".join(row))
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_left = _format_tick(x_values[0])
+    x_right = _format_tick(x_values[-1])
+    axis = x_left + x_label.center(width - len(x_left) - len(x_right)) + x_right
+    lines.append(" " * (gutter + 2) + axis)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * (gutter + 2) + legend)
+    return "\n".join(lines)
+
+
+def plot_result(
+    result: ExperimentResult,
+    x_column: str | None = None,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Chart an experiment result: first column as x, numeric columns as
+    series.  Columns with missing/non-numeric cells are skipped."""
+    if not result.rows:
+        raise ConfigurationError(f"experiment {result.experiment_id} has no rows")
+    columns = list(result.columns)
+    x_column = x_column or columns[0]
+    if x_column not in columns:
+        raise ConfigurationError(f"unknown x column {x_column!r}")
+
+    def numeric(column: str) -> list[float] | None:
+        values = []
+        for row in result.rows:
+            value = row.get(column)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                return None
+            values.append(float(value))
+        return values
+
+    x_values = numeric(x_column)
+    if x_values is None:
+        raise ConfigurationError(f"x column {x_column!r} is not numeric")
+    series = {}
+    for column in columns:
+        if column == x_column:
+            continue
+        values = numeric(column)
+        if values is not None:
+            series[column] = values
+    if not series:
+        raise ConfigurationError("no numeric series to plot")
+    log_x = x_values[0] > 0 and x_values[-1] / max(x_values[0], 1e-12) >= 64
+    chart = ascii_chart(x_values, series, width, height, log_x=log_x,
+                        x_label=x_column)
+    return f"== {result.experiment_id}: {result.title} ==\n{chart}"

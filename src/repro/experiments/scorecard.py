@@ -1,0 +1,65 @@
+"""The reproduction scorecard: run everything, verify every claim.
+
+Runs each registered experiment (at its default, scaled-down parameters),
+collects the machine-checkable claim verdicts each one records, and
+reports one PASS/FAIL table — the one-command answer to "does this
+repository reproduce the paper?".
+
+    python -m repro.experiments scorecard
+
+Timing-based checks on the testbed experiments (fig8/fig9) can be noisy
+at small scale; ``skip_slow=True`` (the default for automated runs) skips
+those two and the calibration sweep, keeping the scorecard deterministic
+and fast.  Run with ``skip_slow=False`` for the full sweep.
+"""
+
+from __future__ import annotations
+
+from .base import EXPERIMENTS, ExperimentResult, register
+
+__all__ = ["run"]
+
+SLOW_EXPERIMENTS = ("fig8", "fig9", "calibration", "scaling", "prediction")
+
+
+@register("scorecard")
+def run(skip_slow: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="scorecard",
+        title="Reproduction scorecard — every machine-checkable claim",
+        columns=["experiment", "checks", "passed", "status"],
+    )
+    total_checks = 0
+    total_passed = 0
+    for experiment_id in sorted(EXPERIMENTS):
+        if experiment_id == "scorecard":
+            continue
+        if skip_slow and experiment_id in SLOW_EXPERIMENTS:
+            result.rows.append(
+                {"experiment": experiment_id, "checks": "-", "passed": "-",
+                 "status": "skipped (slow)"}
+            )
+            continue
+        sub_result = EXPERIMENTS[experiment_id]()
+        passed = sum(1 for __, ok in sub_result.checks if ok)
+        count = len(sub_result.checks)
+        total_checks += count
+        total_passed += passed
+        status = "PASS" if passed == count else "FAIL"
+        if count == 0:
+            status = "no checks"
+        result.rows.append(
+            {"experiment": experiment_id, "checks": count, "passed": passed,
+             "status": status}
+        )
+        for description, ok in sub_result.checks:
+            if not ok:
+                result.notes.append(f"FAILED {experiment_id}: {description}")
+    result.check(
+        f"all {total_checks} claim checks pass", total_passed == total_checks
+    )
+    result.paper_claims = [
+        "Aggregates the [PASS]/[FAIL] verdicts every experiment records "
+        "for the quantitative claims in the paper's prose.",
+    ]
+    return result

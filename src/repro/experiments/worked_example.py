@@ -1,0 +1,150 @@
+"""Reproduction of the paper's running example (Tables 1-4, Figures 1-3).
+
+Relations R = {a, b, c, d} and S = {A, B, C, D} of Table 1, the 4-bit
+signatures of Table 2, PSJ partitioning with the element choices of
+Figure 1 (9 comparisons, 16 replicated), and DCJ with the hash values of
+Table 4 yielding Figure 2's result (8 comparisons, 14 replicated).
+"""
+
+from __future__ import annotations
+
+from ..core.dcj import DCJPartitioner
+from ..core.hashing import paper_example_family, paper_table4_family
+from ..core.nested_loop import signature_nested_loop_join
+from ..core.partitioning import PartitionAssignment
+from ..core.psj import PSJPartitioner
+from ..core.sets import Relation, containment_pairs_nested_loop
+from ..core.signatures import signature_of
+from .base import ExperimentResult, register
+
+__all__ = ["paper_relations", "run"]
+
+SET_NAMES_R = ("a", "b", "c", "d")
+SET_NAMES_S = ("A", "B", "C", "D")
+PSJ_PINNED_ELEMENTS = {
+    frozenset({1, 5}): 5,
+    frozenset({10, 13}): 10,
+    frozenset({1, 3}): 3,
+    frozenset({8, 19}): 19,
+}
+
+
+def paper_relations() -> tuple[Relation, Relation]:
+    """Table 1's relations; tids 0..3 correspond to a..d and A..D."""
+    lhs = Relation.from_sets([{1, 5}, {10, 13}, {1, 3}, {8, 19}], name="R")
+    rhs = Relation.from_sets(
+        [{1, 5, 7}, {8, 10, 13}, {1, 3, 13}, {2, 3, 4}], name="S"
+    )
+    return lhs, rhs
+
+
+@register("worked-example")
+def run() -> ExperimentResult:
+    """Regenerate every number of the Section 2 walkthrough."""
+    lhs, rhs = paper_relations()
+    result = ExperimentResult(
+        experiment_id="worked-example",
+        title="Section 2 running example (Tables 1-4, Figures 1-2)",
+        columns=["artifact", "quantity", "measured", "paper"],
+    )
+
+    # Table 2: 4-bit signatures (displayed MSB-first like the paper).
+    paper_signatures = {
+        "a": "0010", "b": "0110", "c": "1010", "d": "1001",
+        "A": "1010", "B": "0111", "C": "1010", "D": "1101",
+    }
+    for names, relation in ((SET_NAMES_R, lhs), (SET_NAMES_S, rhs)):
+        for name, row in zip(names, relation):
+            result.rows.append(
+                {
+                    "artifact": "Table 2",
+                    "quantity": f"sig({name})",
+                    "measured": format(signature_of(row.elements, 4), "04b"),
+                    "paper": paper_signatures[name],
+                }
+            )
+
+    # Section 2.1: signature filter keeps 7 candidates, 4 false positives.
+    __, nl_metrics = signature_nested_loop_join(lhs, rhs, signature_bits=4)
+    result.rows.append(
+        {"artifact": "§2.1", "quantity": "signature candidates",
+         "measured": nl_metrics.candidates, "paper": 7}
+    )
+    result.rows.append(
+        {"artifact": "§2.1", "quantity": "false positives",
+         "measured": nl_metrics.false_positives, "paper": 4}
+    )
+
+    truth = containment_pairs_nested_loop(lhs, rhs)
+    result.rows.append(
+        {"artifact": "§2.1", "quantity": "join result size",
+         "measured": len(truth), "paper": 3}
+    )
+
+    # Figure 1: PSJ with the paper's element choices.
+    psj = PSJPartitioner(
+        8, choose_element=lambda elements: PSJ_PINNED_ELEMENTS[frozenset(elements)]
+    )
+    psj_assignment = PartitionAssignment.compute(psj, lhs, rhs)
+    result.rows.append(
+        {"artifact": "Figure 1", "quantity": "PSJ comparisons",
+         "measured": psj_assignment.comparisons, "paper": 9}
+    )
+    result.rows.append(
+        {"artifact": "Figure 1", "quantity": "PSJ replicated",
+         "measured": psj_assignment.replicated_signatures, "paper": 16}
+    )
+
+    # Figure 2: DCJ with Table 4's hash values.
+    dcj = DCJPartitioner(paper_table4_family())
+    dcj_assignment = PartitionAssignment.compute(dcj, lhs, rhs)
+    result.rows.append(
+        {"artifact": "Figure 2", "quantity": "DCJ comparisons",
+         "measured": dcj_assignment.comparisons, "paper": 8}
+    )
+    result.rows.append(
+        {"artifact": "Figure 2", "quantity": "DCJ replicated",
+         "measured": dcj_assignment.replicated_signatures, "paper": 14}
+    )
+    result.rows.append(
+        {"artifact": "Figure 2", "quantity": "DCJ comparison factor",
+         "measured": dcj_assignment.comparison_factor, "paper": 0.5}
+    )
+    result.rows.append(
+        {"artifact": "Figure 2", "quantity": "DCJ replication factor",
+         "measured": dcj_assignment.replication_factor, "paper": 1.75}
+    )
+
+    # Table 3's family evaluated literally (documents the Table 4 typo).
+    literal = DCJPartitioner(paper_example_family())
+    literal_assignment = PartitionAssignment.compute(literal, lhs, rhs)
+    result.rows.append(
+        {"artifact": "Table 3 literal", "quantity": "DCJ comparisons",
+         "measured": literal_assignment.comparisons, "paper": "n/a"}
+    )
+    result.rows.append(
+        {"artifact": "Table 3 literal", "quantity": "DCJ replicated",
+         "measured": literal_assignment.replicated_signatures, "paper": "n/a"}
+    )
+
+    for row in result.rows:
+        if row["paper"] not in ("", "n/a"):
+            result.check(
+                f"{row['artifact']} {row['quantity']} == {row['paper']}",
+                row["measured"] == row["paper"],
+            )
+    result.paper_claims = [
+        "R ⋈⊆ S = {(a,A), (b,B), (c,C)}",
+        "16 signature comparisons leave 7 candidate pairs, 4 false positives",
+        "PSJ (Fig 1): 9 comparisons, 16 replicated signatures",
+        "DCJ (Fig 2): 8 comparisons, 14 replicated; factors 0.5 and 1.75",
+    ]
+    result.notes = [
+        "Table 4 in the paper lists h3(b)=0, but b={10,13} contains 10, "
+        "divisible by 5, so Table 3's h3 definition fires.  The 'Table 3 "
+        "literal' rows evaluate the definitions (7 comparisons, 13 "
+        "replicated); the Figure 2 rows pin Table 4's printed values and "
+        "match the paper's 8/14 exactly.",
+        "Correctness holds either way: all joining pairs are co-located.",
+    ]
+    return result

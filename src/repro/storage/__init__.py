@@ -1,0 +1,39 @@
+"""Storage substrate: pages, buffer pool, B-trees and record stores.
+
+This package is the reproduction's replacement for the Berkeley DB storage
+manager used by the paper's Java testbed.  It provides file-backed (or
+in-memory) paged storage with exact physical-I/O accounting, a buffer pool
+with pluggable replacement policies, a B+tree access method, and the two
+record layouts the testbed needs: tid-keyed relations and portioned
+partition data.
+"""
+
+from .buffer import BufferPool, BufferStats, REPLACEMENT_POLICIES
+from .catalog import CATALOG_META_PAGE, Catalog
+from .btree import BTree
+from .pager import (
+    DEFAULT_PAGE_SIZE,
+    DiskManager,
+    FileDiskManager,
+    InMemoryDiskManager,
+    IOStats,
+)
+from .partition_store import PartitionStore
+from .relation_store import DEFAULT_PAYLOAD_SIZE, RelationStore
+
+__all__ = [
+    "BufferPool",
+    "BufferStats",
+    "Catalog",
+    "CATALOG_META_PAGE",
+    "REPLACEMENT_POLICIES",
+    "BTree",
+    "DEFAULT_PAGE_SIZE",
+    "DiskManager",
+    "FileDiskManager",
+    "InMemoryDiskManager",
+    "IOStats",
+    "PartitionStore",
+    "DEFAULT_PAYLOAD_SIZE",
+    "RelationStore",
+]

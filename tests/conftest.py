@@ -1,0 +1,37 @@
+"""Shared fixtures: the paper's running example and small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sets import Relation
+from repro.data.workloads import uniform_workload
+
+
+@pytest.fixture()
+def paper_r() -> Relation:
+    """Table 1's relation R: sets a, b, c, d as tids 0..3."""
+    return Relation.from_sets([{1, 5}, {10, 13}, {1, 3}, {8, 19}], name="R")
+
+
+@pytest.fixture()
+def paper_s() -> Relation:
+    """Table 1's relation S: sets A, B, C, D as tids 0..3."""
+    return Relation.from_sets(
+        [{1, 5, 7}, {8, 10, 13}, {1, 3, 13}, {2, 3, 4}], name="S"
+    )
+
+
+@pytest.fixture()
+def paper_truth() -> set[tuple[int, int]]:
+    """R ⋈⊆ S = {(a,A), (b,B), (c,C)}."""
+    return {(0, 0), (1, 1), (2, 2)}
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """A small joinable workload with planted pairs, shared across tests."""
+    workload = uniform_workload(
+        120, 140, 8, 16, domain_size=5_000, seed=13, planted_pairs=6
+    )
+    return workload.materialize()

@@ -1,0 +1,85 @@
+"""Tests for the DCJ-vs-PSJ breakeven analysis (Figure 10)."""
+
+import pytest
+
+from repro.analysis.breakeven import (
+    best_operating_point,
+    breakeven_frontier,
+    breakeven_theta,
+)
+from repro.analysis.timemodel import PAPER_TIME_MODEL
+from repro.errors import ConfigurationError
+
+
+class TestBestOperatingPoint:
+    def test_picks_minimum_over_k(self):
+        point = best_operating_point(
+            "DCJ", PAPER_TIME_MODEL, 10_000, 10_000, 50, 100
+        )
+        assert point.algorithm == "DCJ"
+        assert point.k in tuple(2**l for l in range(1, 14))
+        assert point.seconds > 0
+
+    def test_case_study_optimum_near_k32(self):
+        """The paper's Figure 8 found k = 32 optimal for the case study;
+        the analytical model agrees to within a factor-of-two k bucket."""
+        point = best_operating_point(
+            "DCJ", PAPER_TIME_MODEL, 10_000, 10_000, 50, 100
+        )
+        assert point.k in (16, 32, 64, 128)
+
+    def test_dcj_case_study_prediction_near_24s(self):
+        """Predicted best DCJ time for the paper's case study is in the
+        ballpark of the measured 24 s."""
+        point = best_operating_point(
+            "DCJ", PAPER_TIME_MODEL, 10_000, 10_000, 50, 100
+        )
+        assert 15 < point.seconds < 50
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            best_operating_point("DCJ", PAPER_TIME_MODEL, 0, 10, 50, 100)
+
+
+class TestBreakevenTheta:
+    def test_paper_quoted_point(self):
+        """The paper's breakeven: θ_R=50, θ_S=100 at |R|=|S|=128000.
+        With the paper's constants we reproduce it almost exactly."""
+        theta = breakeven_theta(PAPER_TIME_MODEL, 128_000, lam=2.0)
+        assert theta == pytest.approx(50, abs=1.0)
+
+    def test_paper_example_decisions(self):
+        """θ=50 at 100000 → DCJ; θ=10 at 100000 → PSJ."""
+        dcj = best_operating_point("DCJ", PAPER_TIME_MODEL, 100_000, 100_000, 50, 50)
+        psj = best_operating_point("PSJ", PAPER_TIME_MODEL, 100_000, 100_000, 50, 50)
+        assert dcj.seconds < psj.seconds
+        dcj = best_operating_point("DCJ", PAPER_TIME_MODEL, 100_000, 100_000, 10, 10)
+        psj = best_operating_point("PSJ", PAPER_TIME_MODEL, 100_000, 100_000, 10, 10)
+        assert psj.seconds < dcj.seconds
+
+    def test_frontier_rises_with_size(self):
+        frontier = breakeven_frontier(
+            PAPER_TIME_MODEL, (10_000, 100_000, 1_000_000), lam=1.0
+        )
+        thetas = [theta for __, theta in frontier]
+        assert all(theta is not None for theta in thetas)
+        assert thetas == sorted(thetas)
+
+    def test_lambda2_curve_above_lambda1(self):
+        for size in (10_000, 128_000, 500_000):
+            theta1 = breakeven_theta(PAPER_TIME_MODEL, size, lam=1.0)
+            theta2 = breakeven_theta(PAPER_TIME_MODEL, size, lam=2.0)
+            assert theta2 > theta1
+
+    def test_dcj_dominant_returns_lower_bound(self):
+        # With a pure-I/O model both algorithms choose k = 2, where DCJ's
+        # replication factor (1.25) beats PSJ's (≈1.5) for every θ, so the
+        # frontier collapses to θ_lo.
+        from repro.analysis.timemodel import TimeModel
+
+        io_only = TimeModel(c1=0.0, c2=1e-6, c3=0.0)
+        assert breakeven_theta(io_only, 1_000, lam=1.0, theta_lo=8.0) == 8.0
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ConfigurationError):
+            breakeven_theta(PAPER_TIME_MODEL, 1000, lam=0.0)

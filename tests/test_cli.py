@@ -1,0 +1,133 @@
+"""Tests for the setjoins command-line interface."""
+
+import pytest
+
+from repro.cli import load_relation_file, main
+
+
+@pytest.fixture()
+def set_files(tmp_path):
+    r_file = tmp_path / "r.txt"
+    s_file = tmp_path / "s.txt"
+    # The paper's example relations.
+    r_file.write_text("1 5\n10 13\n1 3\n8 19\n")
+    s_file.write_text("1 5 7\n8 10 13\n1 3 13\n# comment\n\n2 3 4\n")
+    return str(r_file), str(s_file)
+
+
+class TestLoadRelationFile:
+    def test_parses_sets_with_line_number_tids(self, set_files):
+        r_path, s_path = set_files
+        relation = load_relation_file(r_path)
+        assert relation.tids() == [0, 1, 2, 3]
+        assert relation[0].elements == frozenset({1, 5})
+
+    def test_skips_comments_and_blanks(self, set_files):
+        __, s_path = set_files
+        relation = load_relation_file(s_path)
+        assert len(relation) == 4
+        assert relation[5].elements == frozenset({2, 3, 4})  # line 5 (0-based)
+
+
+class TestCommands:
+    def test_join_outputs_pairs(self, set_files, capsys):
+        r_path, s_path = set_files
+        assert main(["join", r_path, s_path, "--algorithm", "dcj", "-k", "8"]) == 0
+        output = capsys.readouterr().out
+        pairs = {tuple(map(int, line.split())) for line in output.splitlines()}
+        assert pairs == {(0, 0), (1, 1), (2, 2)}
+
+    def test_join_auto_plans(self, set_files, capsys):
+        r_path, s_path = set_files
+        assert main(["join", r_path, s_path]) == 0
+        err = capsys.readouterr().err
+        assert "planned:" in err
+
+    @pytest.mark.parametrize("algorithm", ["psj", "lsj"])
+    def test_join_other_algorithms(self, set_files, capsys, algorithm):
+        r_path, s_path = set_files
+        assert main(["join", r_path, s_path, "--algorithm", algorithm]) == 0
+        output = capsys.readouterr().out
+        pairs = {tuple(map(int, line.split())) for line in output.splitlines()}
+        assert pairs == {(0, 0), (1, 1), (2, 2)}
+
+    def test_plan_reports_choice(self, set_files, capsys):
+        r_path, s_path = set_files
+        assert main(["plan", r_path, s_path]) == 0
+        output = capsys.readouterr().out
+        assert "algorithm:" in output
+        assert "partitions:" in output
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "fig4"]) == 0
+        assert "Comparison factor" in capsys.readouterr().out
+
+    def test_demo_command(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "DCJ comparisons" in output
+
+    def test_stats_command(self, set_files, capsys):
+        r_path, s_path = set_files
+        assert main(["stats", r_path, s_path]) == 0
+        output = capsys.readouterr().out
+        assert "relation R" in output
+        assert "join estimates" in output
+        assert "signature width" in output
+
+    def test_stats_single_file(self, set_files, capsys):
+        r_path, __ = set_files
+        assert main(["stats", r_path]) == 0
+        assert "cardinality" in capsys.readouterr().out
+
+    def test_generate_roundtrips_through_join(self, tmp_path, capsys):
+        out_r = str(tmp_path / "gen_r.txt")
+        out_s = str(tmp_path / "gen_s.txt")
+        assert main(["generate", out_r, "--size", "30", "--theta", "4",
+                     "--domain", "200", "--seed", "1"]) == 0
+        assert main(["generate", out_s, "--size", "30", "--theta", "12",
+                     "--domain", "200", "--seed", "2",
+                     "--distribution", "zipf"]) == 0
+        capsys.readouterr()
+        assert main(["join", out_r, out_s, "--algorithm", "psj"]) == 0
+
+    def test_generate_distributions(self, tmp_path):
+        for distribution in ("selfsimilar", "normal", "clustered"):
+            out = str(tmp_path / f"{distribution}.txt")
+            assert main(["generate", out, "--size", "15",
+                         "--distribution", distribution,
+                         "--cardinality", "bimodal"]) == 0
+
+    def test_db_workflow(self, set_files, capsys, tmp_path):
+        r_path, s_path = set_files
+        db_path = str(tmp_path / "cli.db")
+        assert main(["db", db_path, "load", "R", r_path]) == 0
+        assert main(["db", db_path, "load", "S", s_path]) == 0
+        capsys.readouterr()
+        assert main(["db", db_path, "list"]) == 0
+        assert "R\t4 tuples" in capsys.readouterr().out
+        assert main(["db", db_path, "explain", "R", "S"]) == 0
+        assert "chosen:" in capsys.readouterr().out
+        assert main(["db", db_path, "join", "R", "S"]) == 0
+        pairs = {
+            tuple(map(int, line.split()))
+            for line in capsys.readouterr().out.splitlines()
+        }
+        assert pairs == {(0, 0), (1, 1), (2, 2)}
+        assert main(["db", db_path, "drop", "R"]) == 0
+        capsys.readouterr()
+        assert main(["db", db_path, "list"]) == 0
+        assert "R\t" not in capsys.readouterr().out
+
+    def test_db_bad_usage(self, tmp_path, capsys):
+        db_path = str(tmp_path / "cli.db")
+        assert main(["db", db_path, "load", "onlyname"]) == 2
+        assert main(["db", db_path, "join", "R"]) == 2
+        assert main(["db", db_path, "drop"]) == 2
+
+    def test_missing_file_is_error(self, capsys, tmp_path):
+        missing = str(tmp_path / "nope.txt")
+        assert main(["join", missing, missing]) == 1
+
+    def test_unknown_experiment_is_error(self, capsys):
+        assert main(["experiment", "fig99"]) == 1

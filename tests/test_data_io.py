@@ -1,0 +1,65 @@
+"""Tests for relation text-file persistence."""
+
+import pytest
+
+from repro.core.sets import Relation, SetTuple
+from repro.data.io import load_relation, save_relation
+from repro.errors import ConfigurationError
+
+
+class TestRoundTrip:
+    def test_explicit_tids(self, tmp_path):
+        relation = Relation(name="R")
+        relation.add(SetTuple(5, frozenset({1, 2})))
+        relation.add(SetTuple(9, frozenset()))
+        path = str(tmp_path / "r.txt")
+        assert save_relation(relation, path) == 2
+        loaded = load_relation(path)
+        assert loaded.tids() == [5, 9]
+        assert loaded[5].elements == frozenset({1, 2})
+        assert loaded[9].elements == frozenset()
+
+    def test_implicit_tids(self, tmp_path):
+        relation = Relation.from_sets([{1}, {2, 3}])
+        path = str(tmp_path / "r.txt")
+        save_relation(relation, path, explicit_tids=False)
+        loaded = load_relation(path)
+        # The leading comment line shifts line numbers; tids differ but
+        # the sets round-trip.
+        assert sorted(row.elements for row in loaded) == sorted(
+            row.elements for row in relation
+        )
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "r.txt"
+        path.write_text("# header\n\n0: 1 2\n# middle\n1: 3\n")
+        loaded = load_relation(str(path))
+        assert len(loaded) == 2
+
+    def test_generated_relation_roundtrip(self, tmp_path, small_workload):
+        lhs, __ = small_workload
+        path = str(tmp_path / "gen.txt")
+        save_relation(lhs, path)
+        loaded = load_relation(path)
+        assert loaded.tids() == lhs.tids()
+        for row in lhs:
+            assert loaded[row.tid].elements == row.elements
+
+
+class TestErrors:
+    def test_bad_tid(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("abc: 1 2\n")
+        with pytest.raises(ConfigurationError):
+            load_relation(str(path))
+
+    def test_bad_element(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0: 1 x 3\n")
+        with pytest.raises(ConfigurationError):
+            load_relation(str(path))
+
+    def test_name_defaults_to_filename(self, tmp_path):
+        path = tmp_path / "things.txt"
+        path.write_text("0: 1\n")
+        assert load_relation(str(path)).name == "things.txt"

@@ -1,0 +1,166 @@
+"""Tests for the persistent multi-relation database shell."""
+
+import pytest
+
+from repro.core.sets import Relation, containment_pairs_nested_loop
+from repro.database import SetJoinDatabase
+from repro.data.workloads import uniform_workload
+from repro.errors import ConfigurationError
+from repro.storage.catalog import Catalog
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import InMemoryDiskManager
+
+
+@pytest.fixture()
+def relations():
+    return uniform_workload(
+        80, 100, 6, 12, domain_size=2_000, seed=9, planted_pairs=4
+    ).materialize()
+
+
+class TestCatalog:
+    def test_register_lookup_unregister(self):
+        pool = BufferPool(InMemoryDiskManager(512), capacity=16)
+        catalog = Catalog(pool)
+        catalog.register("students", meta_page_id=7, size=100)
+        assert catalog.lookup("students") == (7, 100)
+        assert "students" in catalog
+        assert list(catalog.names()) == ["students"]
+        assert catalog.unregister("students")
+        assert not catalog.unregister("students")
+        assert len(catalog) == 0
+
+    def test_empty_name_rejected(self):
+        pool = BufferPool(InMemoryDiskManager(512), capacity=16)
+        with pytest.raises(ConfigurationError):
+            Catalog(pool).register("", 1, 1)
+
+    def test_reopen_existing_store(self):
+        disk = InMemoryDiskManager(512)
+        pool = BufferPool(disk, capacity=16)
+        catalog = Catalog(pool)
+        catalog.register("r", 3, 5)
+        pool.flush_all()
+        again = Catalog(pool)  # same store, no re-create
+        assert again.lookup("r") == (3, 5)
+
+
+class TestDatabase:
+    def test_create_read_roundtrip(self, relations):
+        lhs, __ = relations
+        with SetJoinDatabase.open() as db:
+            assert db.create_relation("r", lhs) == len(lhs)
+            assert db.relation_names() == ["r"]
+            assert db.relation_size("r") == len(lhs)
+            loaded = db.read_relation("r")
+            assert loaded.tids() == lhs.tids()
+            for row in lhs:
+                assert loaded[row.tid].elements == row.elements
+
+    def test_duplicate_name_rejected(self, relations):
+        lhs, __ = relations
+        with SetJoinDatabase.open() as db:
+            db.create_relation("r", lhs)
+            with pytest.raises(ConfigurationError):
+                db.create_relation("r", lhs)
+
+    def test_missing_relation_rejected(self):
+        with SetJoinDatabase.open() as db:
+            with pytest.raises(ConfigurationError):
+                db.get_store("ghost")
+            with pytest.raises(ConfigurationError):
+                db.drop_relation("ghost")
+
+    def test_streamed_rows(self):
+        with SetJoinDatabase.open() as db:
+            db.create_relation("s", ((tid, {tid, tid + 1}) for tid in range(30)))
+            assert db.relation_size("s") == 30
+            assert db.read_relation("s")[7].elements == frozenset({7, 8})
+
+    def test_join_over_stored_relations(self, relations):
+        lhs, rhs = relations
+        expected = containment_pairs_nested_loop(lhs, rhs)
+        with SetJoinDatabase.open() as db:
+            db.create_relation("r", lhs)
+            db.create_relation("s", rhs)
+            for algorithm in ("auto", "DCJ", "PSJ", "LSJ"):
+                pairs, metrics = db.join("r", "s", algorithm=algorithm)
+                assert pairs == expected, algorithm
+
+    def test_join_non_power_of_two(self, relations):
+        lhs, rhs = relations
+        expected = containment_pairs_nested_loop(lhs, rhs)
+        with SetJoinDatabase.open() as db:
+            db.create_relation("r", lhs)
+            db.create_relation("s", rhs)
+            pairs, metrics = db.join("r", "s", algorithm="DCJ",
+                                     num_partitions=12)
+            assert pairs == expected
+            assert metrics.num_partitions == 12
+
+    def test_plan_and_explain(self, relations):
+        lhs, rhs = relations
+        with SetJoinDatabase.open() as db:
+            db.create_relation("r", lhs)
+            db.create_relation("s", rhs)
+            plan = db.plan("r", "s")
+            assert plan.algorithm in ("DCJ", "PSJ")
+            text = db.explain("r", "s")
+            assert "chosen:" in text
+            assert "best DCJ" in text and "best PSJ" in text
+
+    def test_drop_returns_pages(self, relations):
+        lhs, __ = relations
+        with SetJoinDatabase.open() as db:
+            db.create_relation("r", lhs)
+            live_with_relation = db.disk.num_live_pages
+            db.drop_relation("r")
+            assert db.relation_names() == []
+            assert db.disk.num_live_pages < live_with_relation
+
+    def test_repeated_joins_bounded_growth(self, relations):
+        lhs, rhs = relations
+        with SetJoinDatabase.open() as db:
+            db.create_relation("r", lhs)
+            db.create_relation("s", rhs)
+            db.join("r", "s", algorithm="PSJ")
+            pages_after_first = db.disk.num_pages
+            for __ in range(3):
+                db.join("r", "s", algorithm="PSJ")
+            assert db.disk.num_pages <= pages_after_first + 2
+
+    def test_closed_database_rejects_operations(self, relations):
+        lhs, __ = relations
+        db = SetJoinDatabase.open()
+        db.create_relation("r", lhs)
+        db.close()
+        with pytest.raises(ConfigurationError):
+            db.relation_names()
+
+
+class TestFilePersistence:
+    def test_database_survives_reopen(self, tmp_path, relations):
+        lhs, rhs = relations
+        expected = containment_pairs_nested_loop(lhs, rhs)
+        path = str(tmp_path / "sets.db")
+        with SetJoinDatabase.open(path) as db:
+            db.create_relation("r", lhs)
+            db.create_relation("s", rhs)
+        with SetJoinDatabase.open(path) as db:
+            assert sorted(db.relation_names()) == ["r", "s"]
+            assert db.relation_size("r") == len(lhs)
+            pairs, __ = db.join("r", "s")
+            assert pairs == expected
+
+    def test_two_reopens_with_drops(self, tmp_path, relations):
+        lhs, rhs = relations
+        path = str(tmp_path / "sets.db")
+        with SetJoinDatabase.open(path) as db:
+            db.create_relation("r", lhs)
+            db.create_relation("s", rhs)
+            db.drop_relation("r")
+        with SetJoinDatabase.open(path) as db:
+            assert db.relation_names() == ["s"]
+            db.create_relation("r2", lhs)
+        with SetJoinDatabase.open(path) as db:
+            assert sorted(db.relation_names()) == ["r2", "s"]

@@ -1,0 +1,148 @@
+"""Tests for the Divide-and-Conquer Set Join partitioner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dcj import DCJPartitioner
+from repro.core.hashing import (
+    BitstringHashFamily,
+    paper_example_family,
+    paper_table4_family,
+)
+from repro.core.partitioning import PartitionAssignment
+from repro.core.sets import Relation, containment_pairs_nested_loop
+from repro.errors import ConfigurationError
+
+
+class TestPaperExample:
+    def test_figure2_counts(self, paper_r, paper_s):
+        """Figure 2: 8 comparisons and 14 replicated signatures (k=8)."""
+        partitioner = DCJPartitioner(paper_table4_family())
+        assignment = PartitionAssignment.compute(partitioner, paper_r, paper_s)
+        assert assignment.comparisons == 8
+        assert assignment.replicated_signatures == 14
+        assert assignment.comparison_factor == pytest.approx(0.5)
+        assert assignment.replication_factor == pytest.approx(1.75)
+
+    def test_figure2_covers_join(self, paper_r, paper_s, paper_truth):
+        partitioner = DCJPartitioner(paper_table4_family())
+        assignment = PartitionAssignment.compute(partitioner, paper_r, paper_s)
+        assert assignment.covers(paper_truth)
+
+    def test_step1_replication(self, paper_r, paper_s):
+        """Step 1 of the walkthrough: α with h1 gives partitions
+        ({b,d} ⋈ {B,D}) ∪ ({a,c} ⋈ {A,B,C,D}) — 12 comparisons."""
+        partitioner = DCJPartitioner(paper_table4_family(), num_levels=1)
+        assignment = PartitionAssignment.compute(partitioner, paper_r, paper_s)
+        assert assignment.comparisons == 2 * 2 + 2 * 4
+        parts = {
+            tuple(sorted(r)): sorted(s)
+            for r, s in zip(assignment.r_partitions, assignment.s_partitions)
+        }
+        assert parts == {(1, 3): [1, 3], (0, 2): [0, 1, 2, 3]}
+
+    def test_figure3_alpha_would_replicate_more(self, paper_r, paper_s):
+        """Figure 3: using α instead of β in step 2 grows replication.
+
+        With the alternating pattern, the bottom subtree after step 2
+        stores 7 signatures; with α-only it stores 8."""
+        alternating = DCJPartitioner(paper_table4_family(), num_levels=2)
+        alpha_only = DCJPartitioner(
+            paper_table4_family(), num_levels=2, pattern="alpha"
+        )
+        alt = PartitionAssignment.compute(alternating, paper_r, paper_s)
+        alp = PartitionAssignment.compute(alpha_only, paper_r, paper_s)
+        # Both reduce comparisons identically ...
+        assert alt.comparisons == alp.comparisons == 10
+        # ... but α-only replicates one more signature (13 vs 12 total).
+        assert alp.replicated_signatures == alt.replicated_signatures + 1
+
+    def test_table3_literal_family(self, paper_r, paper_s, paper_truth):
+        """With Table 3's definitions evaluated literally (h3 fires for b),
+        the counts differ from Figure 2 but correctness holds."""
+        partitioner = DCJPartitioner(paper_example_family())
+        assignment = PartitionAssignment.compute(partitioner, paper_r, paper_s)
+        assert assignment.comparisons == 7
+        assert assignment.replicated_signatures == 13
+        assert assignment.covers(paper_truth)
+
+
+class TestConstruction:
+    def test_num_partitions_is_power_of_two(self):
+        partitioner = DCJPartitioner(BitstringHashFamily(32, num_functions=5))
+        assert partitioner.num_partitions == 32
+        assert partitioner.num_levels == 5
+
+    def test_levels_cannot_exceed_family(self):
+        with pytest.raises(ConfigurationError):
+            DCJPartitioner(BitstringHashFamily(8, num_functions=2), num_levels=3)
+
+    def test_bad_pattern_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DCJPartitioner(BitstringHashFamily(8), pattern="zigzag")
+
+    def test_for_cardinalities_requires_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            DCJPartitioner.for_cardinalities(48, 10, 20)
+        with pytest.raises(ConfigurationError):
+            DCJPartitioner.for_cardinalities(1, 10, 20)
+        partitioner = DCJPartitioner.for_cardinalities(64, 10, 20)
+        assert partitioner.num_partitions == 64
+
+    def test_describe(self):
+        partitioner = DCJPartitioner.for_cardinalities(8, 10, 20)
+        assert "DCJ" in partitioner.describe()
+        assert "k=8" in partitioner.describe()
+
+
+class TestRouting:
+    def test_r_side_single_partition_without_beta_replication(self):
+        """With pattern α-only, every R-tuple lands in exactly one leaf."""
+        partitioner = DCJPartitioner(
+            BitstringHashFamily(64, num_functions=6), pattern="alpha"
+        )
+        for elements in ({1, 2, 3}, set(), {500}, set(range(64))):
+            assert len(partitioner.assign_r(frozenset(elements))) == 1
+
+    def test_s_side_single_partition_without_alpha_replication(self):
+        """With pattern β-only, every S-tuple lands in exactly one leaf."""
+        partitioner = DCJPartitioner(
+            BitstringHashFamily(64, num_functions=6), pattern="beta"
+        )
+        for elements in ({1, 2, 3}, set(), {500}, set(range(64))):
+            assert len(partitioner.assign_s(frozenset(elements))) == 1
+
+    def test_empty_r_set_must_reach_all_s_partitions(self):
+        """∅ joins every superset, so its partitions must intersect every
+        possible S assignment."""
+        partitioner = DCJPartitioner(BitstringHashFamily(16, num_functions=3))
+        empty_parts = set(partitioner.assign_r(frozenset()))
+        for elements in ({1}, {2, 3}, set(range(16)), set()):
+            s_parts = set(partitioner.assign_s(frozenset(elements)))
+            assert empty_parts & s_parts
+
+    def test_partition_indices_in_range(self):
+        partitioner = DCJPartitioner(BitstringHashFamily(32, num_functions=5))
+        for elements in ({1, 7}, set(range(100)), set()):
+            for index in partitioner.assign_r(frozenset(elements)):
+                assert 0 <= index < 32
+            for index in partitioner.assign_s(frozenset(elements)):
+                assert 0 <= index < 32
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    r_sets=st.lists(st.frozensets(st.integers(0, 500), max_size=10), max_size=12),
+    s_sets=st.lists(st.frozensets(st.integers(0, 500), max_size=15), max_size=12),
+    levels=st.integers(min_value=1, max_value=5),
+    pattern=st.sampled_from(["alternating", "alpha", "beta"]),
+)
+def test_dcj_partitioning_is_correct(r_sets, s_sets, levels, pattern):
+    """Property: every joining pair is co-located in some partition."""
+    lhs = Relation.from_sets(r_sets)
+    rhs = Relation.from_sets(s_sets)
+    family = BitstringHashFamily(37, num_functions=levels)
+    partitioner = DCJPartitioner(family, levels, pattern)
+    assignment = PartitionAssignment.compute(partitioner, lhs, rhs)
+    assert assignment.covers(containment_pairs_nested_loop(lhs, rhs))

@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs cleanly end to end.
+
+Examples are the repository's public face; these tests keep them green as
+the library evolves.  Each script is executed in-process (``runpy``) with
+its module-level size constants shrunk so the whole file stays fast.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: per-script overrides shrinking workloads for test speed
+OVERRIDES = {
+    "course_prerequisites.py": {"NUM_COURSES": 60, "NUM_STUDENTS": 50},
+    "job_matching.py": {"NUM_CANDIDATES": 80},
+    "gene_expression.py": {"NUM_GENES": 800, "NUM_PATHWAYS": 30,
+                           "NUM_SNAPSHOTS": 10},
+    "vendor_parts.py": {"NUM_VENDORS": 30, "NUM_PROJECTS": 40,
+                        "NUM_PARTS": 500},
+    "document_search.py": {"NUM_DOCUMENTS": 80, "NUM_QUERIES": 30,
+                           "VOCABULARY_SIZE": 800},
+    "quickstart.py": {},
+}
+
+
+def run_example(script_name: str, capsys) -> str:
+    """Execute one example with shrunken constants; returns its stdout."""
+    path = EXAMPLES_DIR / script_name
+    assert path.exists(), f"missing example {script_name}"
+    # Import the module body WITHOUT running main, patch sizes, then main().
+    namespace = runpy.run_path(str(path), run_name="not_main")
+    for constant, value in OVERRIDES[script_name].items():
+        assert constant in namespace, (script_name, constant)
+    # Re-execute with the overrides applied at module scope.
+    source = path.read_text()
+    module_globals = {"__name__": "not_main", "__file__": str(path)}
+    exec(compile(source, str(path), "exec"), module_globals)
+    module_globals.update(OVERRIDES[script_name])
+    module_globals["main"]()
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("script_name", sorted(OVERRIDES))
+def test_example_runs(script_name, capsys):
+    output = run_example(script_name, capsys)
+    assert output.strip(), f"{script_name} produced no output"
+
+
+def test_quickstart_reports_paper_result(capsys):
+    output = run_example("quickstart.py", capsys)
+    assert "('a', 'A')" in output
+    assert "('b', 'B')" in output
+    assert "('c', 'C')" in output
+
+
+def test_examples_directory_is_fully_covered():
+    """Every example script on disk has a smoke test entry."""
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(OVERRIDES)

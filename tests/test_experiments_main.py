@@ -1,0 +1,38 @@
+"""Tests for the ``python -m repro.experiments`` entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig4" in output
+        assert "scorecard" in output
+
+    def test_single_experiment(self, capsys):
+        assert main(["fig4"]) == 0
+        assert "Comparison factor" in capsys.readouterr().out
+
+    def test_out_writes_artifacts(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "results")
+        assert main(["fig6", "--out", out_dir]) == 0
+        assert (tmp_path / "results" / "fig6.txt").exists()
+        tsv = (tmp_path / "results" / "fig6.tsv").read_text()
+        assert tsv.splitlines()[0].startswith("k\t")
+
+    def test_scale_flag_passes_through(self, capsys):
+        assert main(["fig8", "--scale", "0.02"]) == 0
+        assert "scale 0.02" in capsys.readouterr().out
+
+    def test_no_arguments_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_unknown_experiment_raises(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["fig99"])

@@ -1,0 +1,140 @@
+"""Tests for synthetic relation generation and workloads."""
+
+import pytest
+
+from repro.data.distributions import ConstantCardinality, UniformElements
+from repro.data.generator import RelationSpec, generate_join_pair, generate_relation
+from repro.data.workloads import (
+    accuracy_workload,
+    biochemical_workload,
+    case_study,
+    text_corpus_workload,
+    uniform_workload,
+)
+from repro.errors import ConfigurationError
+
+
+class TestGenerateRelation:
+    def spec(self, size=50, theta=10, domain=1000):
+        return RelationSpec.uniform(size, theta, domain, name="R")
+
+    def test_size_and_cardinality(self):
+        relation = generate_relation(self.spec(), seed=1)
+        assert len(relation) == 50
+        assert all(row.cardinality == 10 for row in relation)
+
+    def test_band_cardinality(self):
+        spec = RelationSpec.uniform(100, 0, 1000, band=(45, 55))
+        relation = generate_relation(spec, seed=1)
+        assert all(45 <= row.cardinality <= 55 for row in relation)
+
+    def test_seed_reproducibility(self):
+        first = generate_relation(self.spec(), seed=9)
+        second = generate_relation(self.spec(), seed=9)
+        assert [row.elements for row in first] == [row.elements for row in second]
+
+    def test_different_seeds_differ(self):
+        first = generate_relation(self.spec(), seed=1)
+        second = generate_relation(self.spec(), seed=2)
+        assert [row.elements for row in first] != [row.elements for row in second]
+
+    def test_start_tid(self):
+        relation = generate_relation(self.spec(size=3), seed=1, start_tid=100)
+        assert relation.tids() == [100, 101, 102]
+
+    def test_negative_size_rejected(self):
+        spec = RelationSpec(-1, ConstantCardinality(5), UniformElements(100))
+        with pytest.raises(ConfigurationError):
+            generate_relation(spec)
+
+
+class TestGenerateJoinPair:
+    def test_planted_pairs_guarantee_results(self):
+        r_spec = RelationSpec.uniform(50, 10, 10**6, name="R")
+        s_spec = RelationSpec.uniform(50, 20, 10**6, name="S")
+        lhs, rhs = generate_join_pair(r_spec, s_spec, seed=4, planted_pairs=8)
+        from repro.core.sets import containment_pairs_nested_loop
+
+        result = containment_pairs_nested_loop(lhs, rhs)
+        assert len(result) >= 8
+
+    def test_no_planting_with_huge_domain_is_empty(self):
+        r_spec = RelationSpec.uniform(30, 10, 10**9)
+        s_spec = RelationSpec.uniform(30, 20, 10**9)
+        lhs, rhs = generate_join_pair(r_spec, s_spec, seed=4)
+        from repro.core.sets import containment_pairs_nested_loop
+
+        assert containment_pairs_nested_loop(lhs, rhs) == set()
+
+    def test_too_many_planted_rejected(self):
+        spec = RelationSpec.uniform(5, 2, 100)
+        with pytest.raises(ConfigurationError):
+            generate_join_pair(spec, spec, planted_pairs=10)
+
+    def test_planting_preserves_sizes(self):
+        spec = RelationSpec.uniform(40, 5, 10_000)
+        lhs, rhs = generate_join_pair(spec, spec, seed=1, planted_pairs=5)
+        assert len(lhs) == len(rhs) == 40
+
+
+class TestWorkloads:
+    def test_case_study_parameters(self):
+        workload = case_study(scale=0.05)
+        lhs, rhs = workload.materialize()
+        assert len(lhs) == len(rhs) == 500
+        assert workload.theta_r == 50.0
+        assert workload.theta_s == 100.0
+        assert 45 <= min(row.cardinality for row in lhs)
+        assert max(row.cardinality for row in lhs) <= 55
+        assert 90 <= min(row.cardinality for row in rhs)
+        assert max(row.cardinality for row in rhs) <= 110
+
+    def test_case_study_scale_validation(self):
+        with pytest.raises(ConfigurationError):
+            case_study(scale=0)
+
+    def test_uniform_workload_label_and_thetas(self):
+        workload = uniform_workload(10, 20, 5, 9, seed=1)
+        assert workload.theta_r == 5.0
+        assert workload.theta_s == 9.0
+        assert "θR=5" in workload.label
+
+    def test_accuracy_workload_builds_all_cells(self):
+        from repro.data.distributions import (
+            CARDINALITY_DISTRIBUTIONS,
+            ELEMENT_DISTRIBUTIONS,
+        )
+
+        for element_kind in ELEMENT_DISTRIBUTIONS:
+            for cardinality_kind in CARDINALITY_DISTRIBUTIONS:
+                workload = accuracy_workload(
+                    element_kind, cardinality_kind, size=20
+                )
+                lhs, rhs = workload.materialize()
+                assert len(lhs) == len(rhs) == 20
+
+    def test_text_corpus_workload(self):
+        workload = text_corpus_workload(num_queries=25, num_documents=30,
+                                        vocabulary=2_000, seed=2)
+        lhs, rhs = workload.materialize()
+        assert len(lhs) == 25 and len(rhs) == 30
+        assert lhs.average_cardinality() < rhs.average_cardinality()
+        assert workload.label == "text_corpus"
+
+    def test_biochemical_workload_large_supersets(self):
+        workload = biochemical_workload(num_signatures=10, num_snapshots=5,
+                                        num_genes=800, seed=2,
+                                        planted_pairs=2)
+        lhs, rhs = workload.materialize()
+        # Snapshots cover most of the genome.
+        assert rhs.average_cardinality() > 0.6 * 800
+        from repro.core.sets import containment_pairs_nested_loop
+
+        assert len(containment_pairs_nested_loop(lhs, rhs)) >= 2
+
+    def test_workload_materialize_is_reproducible(self):
+        workload = uniform_workload(30, 30, 5, 10, seed=6, planted_pairs=2)
+        first_r, first_s = workload.materialize()
+        second_r, second_s = workload.materialize()
+        assert [row.elements for row in first_r] == [row.elements for row in second_r]
+        assert [row.elements for row in first_s] == [row.elements for row in second_s]

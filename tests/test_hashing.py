@@ -1,0 +1,170 @@
+"""Tests for the monotone boolean hash families."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashing import (
+    BitstringHashFamily,
+    ExplicitHashFamily,
+    PrimeHashFamily,
+    make_family,
+    optimal_bitstring_length,
+    optimal_firing_probability,
+    optimal_no_fire_probability,
+    paper_example_family,
+    paper_table4_family,
+    primes,
+    step_comparison_factor,
+)
+from repro.errors import ConfigurationError
+
+subset_pairs = st.tuples(
+    st.frozensets(st.integers(0, 100_000), max_size=30),
+    st.frozensets(st.integers(0, 100_000), max_size=10),
+).map(lambda pair: (pair[0], pair[0] | pair[1]))
+
+
+class TestOptimalValues:
+    def test_no_fire_probability(self):
+        assert optimal_no_fire_probability(1.0) == 0.5
+        assert optimal_no_fire_probability(2.0) == pytest.approx(2 / 3)
+        with pytest.raises(ConfigurationError):
+            optimal_no_fire_probability(0)
+
+    def test_firing_probability_complementary(self):
+        assert optimal_firing_probability(1.0) == 0.5
+        assert optimal_firing_probability(3.0) == pytest.approx(0.25)
+
+    def test_paper_b_value(self):
+        # θ_R=50, θ_S=100 -> b ≈ 124 (Section 3)
+        assert optimal_bitstring_length(50, 100) == pytest.approx(124, abs=1)
+
+    def test_step_factor_minimized_at_q_star(self):
+        for lam in (0.5, 1.0, 2.0, 5.0):
+            q_star = optimal_no_fire_probability(lam)
+            best = step_comparison_factor(q_star, lam)
+            for q in (0.05, 0.25, 0.5, 0.75, 0.95):
+                assert best <= step_comparison_factor(q, lam) + 1e-12
+
+    def test_step_factor_edges(self):
+        # q=0: every function fires for R -> factor 1 (no pruning).
+        assert step_comparison_factor(0.0, 1.0) == 1.0
+        assert step_comparison_factor(1.0, 1.0) == 1.0
+        with pytest.raises(ConfigurationError):
+            step_comparison_factor(1.5, 1.0)
+
+
+class TestBitstringFamily:
+    def test_firing_probability_formula(self):
+        family = BitstringHashFamily(200, num_functions=8)
+        assert family.firing_probability(100) == pytest.approx(0.394, abs=0.01)
+
+    def test_mask_width(self):
+        family = BitstringHashFamily(64, num_functions=6)
+        assert family.num_functions == 6
+        mask = family.evaluate(range(1000))
+        assert mask == (1 << 6) - 1  # dense set fires everything
+
+    def test_empty_set_never_fires(self):
+        family = BitstringHashFamily(64, num_functions=6)
+        assert family.evaluate(frozenset()) == 0
+
+    def test_evaluate_one(self):
+        family = BitstringHashFamily(8)  # one function per bit position
+        assert family.evaluate_one(3, {3}) is True
+        assert family.evaluate_one(2, {3}) is False
+        with pytest.raises(ConfigurationError):
+            family.evaluate_one(99, {1})
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BitstringHashFamily(0)
+        with pytest.raises(ConfigurationError):
+            BitstringHashFamily(4, num_functions=10)
+        with pytest.raises(ConfigurationError):
+            BitstringHashFamily(8, indices=[1, 1])
+        with pytest.raises(ConfigurationError):
+            BitstringHashFamily(8, indices=[9])
+
+    def test_optimal_constructor(self):
+        family = BitstringHashFamily.optimal(50, 100, num_functions=7)
+        assert family.num_functions == 7
+        assert family.bitstring_length == pytest.approx(124, abs=1)
+
+    @settings(max_examples=60)
+    @given(subset_pairs)
+    def test_monotone(self, pair):
+        subset, superset = pair
+        family = BitstringHashFamily(37, num_functions=5)
+        assert family.evaluate(subset) & ~family.evaluate(superset) == 0
+
+
+class TestPrimeFamily:
+    def test_paper_table3_values(self, paper_r, paper_s):
+        """Table 3's family evaluated on the running example.
+
+        Table 4 prints h3(b)=0, but b={10,13} contains 10 (divisible by 5),
+        so the definition fires — the known typo in the paper.
+        """
+        family = paper_example_family()
+        values_r = [family.evaluate(row.elements) for row in paper_r]
+        values_s = [family.evaluate(row.elements) for row in paper_s]
+        assert values_r == [0b100, 0b101, 0b010, 0b001]  # b differs from Table 4
+        assert values_s == [0b100, 0b101, 0b010, 0b011]
+
+    def test_disjointness_enforced(self):
+        with pytest.raises(ConfigurationError):
+            PrimeHashFamily([(2, 3), (3, 5)])
+        with pytest.raises(ConfigurationError):
+            PrimeHashFamily([()])
+        with pytest.raises(ConfigurationError):
+            PrimeHashFamily([(1,)])
+        with pytest.raises(ConfigurationError):
+            PrimeHashFamily([])
+
+    def test_target_probability_construction(self):
+        family = PrimeHashFamily.with_target_probability(
+            theta_r=25, num_functions=5, firing_probability=1 / 3
+        )
+        assert family.num_functions == 5
+        for index in range(5):
+            estimated = family.firing_probability(index, 25)
+            assert estimated == pytest.approx(1 / 3, abs=0.12)
+        with pytest.raises(ConfigurationError):
+            PrimeHashFamily.with_target_probability(10, 2, 1.5)
+
+    @settings(max_examples=60)
+    @given(subset_pairs)
+    def test_monotone(self, pair):
+        subset, superset = pair
+        family = paper_example_family()
+        assert family.evaluate(subset) & ~family.evaluate(superset) == 0
+
+
+class TestExplicitFamily:
+    def test_table4_masks(self):
+        family = paper_table4_family()
+        assert family.evaluate({10, 13}) == 0b001  # the paper's printed value
+        with pytest.raises(ConfigurationError):
+            family.evaluate({999})
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitHashFamily({}, num_functions=0)
+
+
+class TestFactoryAndPrimes:
+    def test_make_family_kinds(self):
+        bitstring = make_family("bitstring", 5, 50, 100)
+        assert isinstance(bitstring, BitstringHashFamily)
+        prime = make_family("primes", 3, 50, 100)
+        assert isinstance(prime, PrimeHashFamily)
+        with pytest.raises(ConfigurationError):
+            make_family("md5", 3, 50, 100)
+        with pytest.raises(ConfigurationError):
+            make_family("bitstring", 0, 50, 100)
+
+    def test_primes_stream(self):
+        stream = primes()
+        assert [next(stream) for __ in range(10)] == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]

@@ -1,0 +1,128 @@
+"""Tests for the intersection (overlap) join extension."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intersection import (
+    intersection_join,
+    intersection_join_nested_loop,
+    run_disk_intersection_join,
+)
+from repro.core.sets import Relation
+from repro.errors import ConfigurationError
+
+
+def reference(lhs, rhs, threshold):
+    return {
+        (r.tid, s.tid)
+        for r in lhs
+        for s in rhs
+        if len(r.elements & s.elements) >= threshold
+    }
+
+
+class TestNestedLoop:
+    def test_overlap_one(self):
+        lhs = Relation.from_sets([{1, 2}, {9}])
+        rhs = Relation.from_sets([{2, 3}, {8, 9}, {4}])
+        result, metrics = intersection_join_nested_loop(lhs, rhs)
+        assert result == {(0, 0), (1, 1)}
+        assert metrics.set_comparisons == 6
+
+    def test_threshold(self):
+        lhs = Relation.from_sets([{1, 2, 3}])
+        rhs = Relation.from_sets([{1, 2, 9}, {1, 8, 9}])
+        result, __ = intersection_join_nested_loop(lhs, rhs, threshold=2)
+        assert result == {(0, 0)}
+
+    def test_invalid_threshold(self):
+        relation = Relation.from_sets([{1}])
+        with pytest.raises(ConfigurationError):
+            intersection_join_nested_loop(relation, relation, threshold=0)
+
+
+class TestPartitionedIntersection:
+    def test_matches_nested_loop(self):
+        lhs = Relation.from_sets([{1, 2}, {5, 6, 7}, {100}])
+        rhs = Relation.from_sets([{2, 3}, {7, 8}, {200}, {1, 5}])
+        for threshold in (1, 2):
+            fast, __ = intersection_join(lhs, rhs, threshold, num_partitions=8)
+            assert fast == reference(lhs, rhs, threshold)
+
+    def test_empty_sets_never_intersect(self):
+        lhs = Relation.from_sets([set(), {1}])
+        rhs = Relation.from_sets([set(), {1, 2}])
+        result, __ = intersection_join(lhs, rhs)
+        assert result == {(1, 0 + 1)}
+
+    def test_metrics_track_filtering(self):
+        lhs = Relation.from_sets([{i, i + 1} for i in range(0, 40, 2)])
+        rhs = Relation.from_sets([{i, i + 1} for i in range(1, 41, 2)])
+        result, metrics = intersection_join(lhs, rhs, num_partitions=4)
+        assert metrics.result_size == len(result)
+        assert metrics.candidates >= len(result)
+        assert metrics.replicated_signatures >= len(lhs) + len(rhs)
+
+    def test_both_sides_replicated(self):
+        """Intersection has no asymmetry: R replicates per element too."""
+        lhs = Relation.from_sets([set(range(10))])
+        rhs = Relation.from_sets([{0}])
+        __, metrics = intersection_join(lhs, rhs, num_partitions=16)
+        assert metrics.replicated_signatures > 2
+
+    def test_validation(self):
+        relation = Relation.from_sets([{1}])
+        with pytest.raises(ConfigurationError):
+            intersection_join(relation, relation, threshold=0)
+        with pytest.raises(ConfigurationError):
+            intersection_join(relation, relation, num_partitions=0)
+
+
+class TestDiskIntersection:
+    def test_matches_in_memory_operator(self, small_workload):
+        lhs, rhs = small_workload
+        memory, __ = intersection_join(lhs, rhs, threshold=2,
+                                       num_partitions=16)
+        disk, metrics = run_disk_intersection_join(
+            lhs, rhs, threshold=2, num_partitions=16, signature_bits=64
+        )
+        assert disk == memory
+        assert metrics.algorithm == "IntersectPSJ-disk"
+        assert metrics.total_page_writes > 0
+
+    def test_file_backed(self, tmp_path):
+        lhs = Relation.from_sets([{1, 2, 3}, {50, 60}])
+        rhs = Relation.from_sets([{3, 4}, {60, 61}, {99}])
+        result, __ = run_disk_intersection_join(
+            lhs, rhs, path=str(tmp_path / "ix.db"), num_partitions=8
+        )
+        assert result == {(0, 0), (1, 1)}
+
+    def test_empty_sets_ignored(self):
+        lhs = Relation.from_sets([set(), {7}])
+        rhs = Relation.from_sets([{7, 8}, set()])
+        result, __ = run_disk_intersection_join(lhs, rhs, num_partitions=4)
+        assert result == {(1, 0)}
+
+    def test_validation(self):
+        relation = Relation.from_sets([{1}])
+        with pytest.raises(ConfigurationError):
+            run_disk_intersection_join(relation, relation, threshold=0)
+        with pytest.raises(ConfigurationError):
+            run_disk_intersection_join(relation, relation, num_partitions=0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    r_sets=st.lists(st.frozensets(st.integers(0, 120), max_size=8), max_size=10),
+    s_sets=st.lists(st.frozensets(st.integers(0, 120), max_size=8), max_size=10),
+    threshold=st.integers(min_value=1, max_value=3),
+    k=st.integers(min_value=1, max_value=32),
+)
+def test_intersection_join_equals_reference(r_sets, s_sets, threshold, k):
+    """Property: the partitioned operator computes exactly the overlap join."""
+    lhs = Relation.from_sets(r_sets)
+    rhs = Relation.from_sets(s_sets)
+    result, __ = intersection_join(lhs, rhs, threshold, num_partitions=k)
+    assert result == reference(lhs, rhs, threshold)

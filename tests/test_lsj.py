@@ -1,0 +1,90 @@
+"""Tests for the Lattice Set Join (LSJ) partitioner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashing import BitstringHashFamily, paper_table4_family
+from repro.core.lsj import LSJPartitioner, submasks
+from repro.core.partitioning import PartitionAssignment
+from repro.core.sets import Relation, containment_pairs_nested_loop
+from repro.errors import ConfigurationError
+
+
+class TestSubmasks:
+    def test_zero(self):
+        assert submasks(0) == [0]
+
+    def test_full_lattice(self):
+        assert submasks(0b101) == [0b000, 0b001, 0b100, 0b101]
+
+    def test_count_is_power_of_popcount(self):
+        for mask in (0b1, 0b11, 0b1011, 0b11111):
+            assert len(submasks(mask)) == 2 ** bin(mask).count("1")
+
+    @given(st.integers(min_value=0, max_value=2**10 - 1))
+    def test_all_results_are_submasks(self, mask):
+        for sub in submasks(mask):
+            assert sub & ~mask == 0
+
+
+class TestLSJ:
+    def test_r_single_partition(self):
+        partitioner = LSJPartitioner(BitstringHashFamily(32, num_functions=4))
+        assert len(partitioner.assign_r(frozenset({1, 2, 3}))) == 1
+
+    def test_s_replicates_to_lattice(self):
+        partitioner = LSJPartitioner(paper_table4_family())
+        # B has mask 101 -> partitions {000, 001, 100, 101}
+        assert partitioner.assign_s(frozenset({8, 10, 13})) == [0, 1, 4, 5]
+
+    def test_r_index_is_hash_vector(self):
+        partitioner = LSJPartitioner(paper_table4_family())
+        assert partitioner.assign_r(frozenset({10, 13})) == [0b001]
+
+    def test_empty_s_set_goes_to_partition_zero(self):
+        partitioner = LSJPartitioner(BitstringHashFamily(16, num_functions=3))
+        assert partitioner.assign_s(frozenset()) == [0]
+
+    def test_empty_r_meets_every_s(self):
+        partitioner = LSJPartitioner(BitstringHashFamily(16, num_functions=3))
+        empty_home = partitioner.assign_r(frozenset())[0]
+        for elements in ({1}, {5, 9}, set(range(16))):
+            assert empty_home in partitioner.assign_s(frozenset(elements))
+
+    def test_same_comparison_partitioning_as_dcj(self, paper_r, paper_s):
+        """LSJ and DCJ generate the same number of comparisons (same hash
+        values co-locate the same pairs — comp_LSJ = comp_DCJ)."""
+        from repro.core.dcj import DCJPartitioner
+
+        lsj = PartitionAssignment.compute(
+            LSJPartitioner(paper_table4_family()), paper_r, paper_s
+        )
+        dcj = PartitionAssignment.compute(
+            DCJPartitioner(paper_table4_family()), paper_r, paper_s
+        )
+        assert lsj.comparisons == dcj.comparisons
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LSJPartitioner(BitstringHashFamily(8, num_functions=2), num_levels=5)
+        with pytest.raises(ConfigurationError):
+            LSJPartitioner.for_cardinalities(48, 10, 20)
+        partitioner = LSJPartitioner.for_cardinalities(16, 10, 20)
+        assert partitioner.num_partitions == 16
+        assert "LSJ" in partitioner.describe()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    r_sets=st.lists(st.frozensets(st.integers(0, 400), max_size=8), max_size=12),
+    s_sets=st.lists(st.frozensets(st.integers(0, 400), max_size=12), max_size=12),
+    levels=st.integers(min_value=1, max_value=5),
+)
+def test_lsj_partitioning_is_correct(r_sets, s_sets, levels):
+    """Property: every joining pair is co-located in R's home partition."""
+    lhs = Relation.from_sets(r_sets)
+    rhs = Relation.from_sets(s_sets)
+    partitioner = LSJPartitioner(BitstringHashFamily(41, num_functions=levels))
+    assignment = PartitionAssignment.compute(partitioner, lhs, rhs)
+    assert assignment.covers(containment_pairs_nested_loop(lhs, rhs))

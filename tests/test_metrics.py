@@ -1,0 +1,63 @@
+"""Tests for the join metrics record."""
+
+import pytest
+
+from repro.core.metrics import JoinMetrics, PhaseMetrics
+from repro.storage.pager import IOStats
+
+
+class TestPhaseMetrics:
+    def test_from_io_delta(self):
+        delta = IOStats(page_reads=5, page_writes=3)
+        phase = PhaseMetrics.from_io_delta(1.5, delta)
+        assert phase.seconds == 1.5
+        assert phase.page_reads == 5
+        assert phase.page_writes == 3
+
+
+class TestJoinMetrics:
+    def make(self):
+        metrics = JoinMetrics(
+            algorithm="DCJ", num_partitions=8, r_size=100, s_size=200,
+            signature_bits=160,
+        )
+        metrics.signature_comparisons = 5_000
+        metrics.replicated_signatures = 450
+        metrics.candidates = 20
+        metrics.false_positives = 5
+        metrics.result_size = 15
+        metrics.partitioning = PhaseMetrics(1.0, 10, 20)
+        metrics.joining = PhaseMetrics(2.0, 30, 0)
+        metrics.verification = PhaseMetrics(0.5, 5, 0)
+        return metrics
+
+    def test_comparison_factor(self):
+        assert self.make().comparison_factor == pytest.approx(5000 / 20_000)
+
+    def test_replication_factor(self):
+        assert self.make().replication_factor == pytest.approx(450 / 300)
+
+    def test_zero_sized_relations(self):
+        empty = JoinMetrics()
+        assert empty.comparison_factor == 0.0
+        assert empty.replication_factor == 0.0
+        assert empty.filter_precision == 1.0
+
+    def test_totals(self):
+        metrics = self.make()
+        assert metrics.total_seconds == pytest.approx(3.5)
+        assert metrics.total_page_reads == 45
+        assert metrics.total_page_writes == 20
+
+    def test_filter_precision(self):
+        assert self.make().filter_precision == pytest.approx(0.75)
+
+    def test_as_row_contains_key_columns(self):
+        row = self.make().as_row()
+        assert row["algorithm"] == "DCJ"
+        assert row["k"] == 8
+        assert row["comparisons"] == 5_000
+        assert row["comp_factor"] == pytest.approx(0.25)
+        assert row["repl_factor"] == pytest.approx(1.5)
+        assert row["t_total_s"] == pytest.approx(3.5)
+        assert row["false_positives"] == 5

@@ -1,0 +1,88 @@
+"""Tests for modulo folding (non-power-of-two partition counts)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dcj import DCJPartitioner
+from repro.core.hashing import BitstringHashFamily
+from repro.core.lsj import LSJPartitioner
+from repro.core.modulo import ModuloFoldPartitioner, dcj_with_any_k, lsj_with_any_k
+from repro.core.operator import run_disk_join
+from repro.core.partitioning import PartitionAssignment
+from repro.core.psj import PSJPartitioner
+from repro.core.sets import Relation, containment_pairs_nested_loop
+from repro.errors import ConfigurationError
+
+
+class TestFolding:
+    def test_indices_in_folded_range(self):
+        base = DCJPartitioner(BitstringHashFamily(32, num_functions=6))
+        folded = ModuloFoldPartitioner(base, 48)  # the paper's "say k = 48"
+        assert folded.num_partitions == 48
+        for elements in ({1, 2}, set(range(64)), set()):
+            for index in folded.assign_r(frozenset(elements)):
+                assert 0 <= index < 48
+            for index in folded.assign_s(frozenset(elements)):
+                assert 0 <= index < 48
+
+    def test_duplicates_merged(self):
+        """Folding can only reduce replication."""
+        base = DCJPartitioner(BitstringHashFamily(32, num_functions=6))
+        folded = ModuloFoldPartitioner(base, 5)
+        for elements in ({3, 7, 50}, set(range(40))):
+            base_copies = len(base.assign_s(frozenset(elements)))
+            folded_copies = len(folded.assign_s(frozenset(elements)))
+            assert folded_copies <= base_copies
+            assert folded_copies <= 5
+
+    def test_cannot_fold_upwards(self):
+        base = PSJPartitioner(4)
+        with pytest.raises(ConfigurationError):
+            ModuloFoldPartitioner(base, 8)
+
+    def test_describe_and_name(self):
+        base = DCJPartitioner(BitstringHashFamily(16, num_functions=4))
+        folded = ModuloFoldPartitioner(base, 10)
+        assert folded.name == "DCJ-mod"
+        assert "folded to k=10" in folded.describe()
+
+
+class TestConvenienceBuilders:
+    def test_power_of_two_passthrough(self):
+        partitioner = dcj_with_any_k(64, 10, 20)
+        assert isinstance(partitioner, DCJPartitioner)
+        assert partitioner.num_partitions == 64
+
+    def test_arbitrary_k(self):
+        partitioner = dcj_with_any_k(48, 10, 20)
+        assert partitioner.num_partitions == 48
+        lsj = lsj_with_any_k(12, 10, 20)
+        assert lsj.num_partitions == 12
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            dcj_with_any_k(0, 10, 20)
+
+    def test_end_to_end_join(self, small_workload):
+        lhs, rhs = small_workload
+        expected = containment_pairs_nested_loop(lhs, rhs)
+        for k in (3, 12, 48):
+            result, metrics = run_disk_join(lhs, rhs, dcj_with_any_k(k, 8, 16))
+            assert result == expected, k
+            assert metrics.num_partitions == k
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    r_sets=st.lists(st.frozensets(st.integers(0, 300), max_size=8), max_size=10),
+    s_sets=st.lists(st.frozensets(st.integers(0, 300), max_size=12), max_size=10),
+    k=st.integers(min_value=1, max_value=20),
+)
+def test_folded_partitioning_is_correct(r_sets, s_sets, k):
+    """Property: folding preserves co-location of every joining pair."""
+    lhs = Relation.from_sets(r_sets)
+    rhs = Relation.from_sets(s_sets)
+    partitioner = dcj_with_any_k(k, 5, 8)
+    assignment = PartitionAssignment.compute(partitioner, lhs, rhs)
+    assert assignment.covers(containment_pairs_nested_loop(lhs, rhs))

@@ -1,0 +1,60 @@
+"""Tests for the nested-loop baselines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nested_loop import naive_join, signature_nested_loop_join
+from repro.core.sets import Relation, containment_pairs_nested_loop
+
+
+class TestNaiveJoin:
+    def test_paper_example(self, paper_r, paper_s, paper_truth):
+        result, metrics = naive_join(paper_r, paper_s)
+        assert result == paper_truth
+        assert metrics.set_comparisons == 16  # |R| x |S|
+
+    def test_empty_inputs(self):
+        empty = Relation()
+        result, metrics = naive_join(empty, empty)
+        assert result == set()
+        assert metrics.set_comparisons == 0
+
+
+class TestSignatureNestedLoop:
+    def test_paper_example_counts(self, paper_r, paper_s, paper_truth):
+        """Section 2.1: 16 signature comparisons, 7 candidates, 4 false
+        positives with 4-bit signatures."""
+        result, metrics = signature_nested_loop_join(
+            paper_r, paper_s, signature_bits=4
+        )
+        assert result == paper_truth
+        assert metrics.signature_comparisons == 16
+        assert metrics.candidates == 7
+        assert metrics.false_positives == 4
+        assert metrics.set_comparisons == 7  # only candidates are verified
+
+    def test_wider_signatures_fewer_false_positives(self, small_workload):
+        lhs, rhs = small_workload
+        __, narrow = signature_nested_loop_join(lhs, rhs, signature_bits=8)
+        __, wide = signature_nested_loop_join(lhs, rhs, signature_bits=160)
+        assert wide.false_positives <= narrow.false_positives
+
+    def test_comparison_factor_is_one(self, paper_r, paper_s):
+        __, metrics = signature_nested_loop_join(paper_r, paper_s)
+        assert metrics.comparison_factor == 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    r_sets=st.lists(st.frozensets(st.integers(0, 100), max_size=6), max_size=10),
+    s_sets=st.lists(st.frozensets(st.integers(0, 100), max_size=10), max_size=10),
+    bits=st.sampled_from([4, 16, 64, 160]),
+)
+def test_baselines_agree(r_sets, s_sets, bits):
+    """Property: both baselines equal the reference brute force."""
+    lhs = Relation.from_sets(r_sets)
+    rhs = Relation.from_sets(s_sets)
+    expected = containment_pairs_nested_loop(lhs, rhs)
+    assert naive_join(lhs, rhs)[0] == expected
+    assert signature_nested_loop_join(lhs, rhs, signature_bits=bits)[0] == expected

@@ -1,0 +1,189 @@
+"""Tests for the Section 6 implementation options and space reclamation."""
+
+import pytest
+
+from repro.core.operator import SetContainmentJoin, Testbed, run_disk_join
+from repro.core.psj import PSJPartitioner
+from repro.core.sets import containment_pairs_nested_loop
+from repro.core.signatures import recommend_signature_bits
+from repro.errors import ConfigurationError
+
+
+class TestResidentPartitions:
+    def test_result_unchanged(self, small_workload):
+        lhs, rhs = small_workload
+        expected = containment_pairs_nested_loop(lhs, rhs)
+        for resident in (1, 4, 8):
+            result, __ = run_disk_join(
+                lhs, rhs, PSJPartitioner(8, seed=1),
+                resident_partitions=resident,
+            )
+            assert result == expected, resident
+
+    def test_resident_entries_not_written(self, small_workload):
+        lhs, rhs = small_workload
+        __, baseline = run_disk_join(lhs, rhs, PSJPartitioner(8, seed=1))
+        __, resident = run_disk_join(
+            lhs, rhs, PSJPartitioner(8, seed=1), resident_partitions=4
+        )
+        # Total partition entries are conserved; part move to memory.
+        assert (
+            resident.replicated_signatures + resident.resident_signatures
+            == baseline.replicated_signatures
+        )
+        assert resident.resident_signatures > 0
+        assert resident.replicated_signatures < baseline.replicated_signatures
+        # Fewer partition entries written -> fewer page writes.
+        assert resident.total_page_writes <= baseline.total_page_writes
+
+    def test_all_partitions_resident(self, small_workload):
+        """resident >= k degenerates to a pure in-memory partition join."""
+        lhs, rhs = small_workload
+        result, metrics = run_disk_join(
+            lhs, rhs, PSJPartitioner(4, seed=1), resident_partitions=99
+        )
+        assert result == containment_pairs_nested_loop(lhs, rhs)
+        assert metrics.replicated_signatures == 0
+        assert metrics.resident_signatures > 0
+
+    def test_negative_rejected(self, paper_r, paper_s):
+        with Testbed() as testbed:
+            testbed.load(paper_r, paper_s)
+            with pytest.raises(ConfigurationError):
+                SetContainmentJoin(
+                    testbed, PSJPartitioner(4), resident_partitions=-1
+                )
+
+
+class TestSpilledCandidates:
+    def test_result_unchanged(self, small_workload):
+        lhs, rhs = small_workload
+        expected = containment_pairs_nested_loop(lhs, rhs)
+        result, metrics = run_disk_join(
+            lhs, rhs, PSJPartitioner(8, seed=1), spill_candidates=True
+        )
+        assert result == expected
+        assert metrics.candidates >= len(expected)
+
+    def test_candidate_counts_match_in_memory_path(self, small_workload):
+        lhs, rhs = small_workload
+        __, in_memory = run_disk_join(lhs, rhs, PSJPartitioner(8, seed=1))
+        __, spilled = run_disk_join(
+            lhs, rhs, PSJPartitioner(8, seed=1), spill_candidates=True
+        )
+        assert spilled.candidates == in_memory.candidates
+        assert spilled.false_positives == in_memory.false_positives
+
+    def test_combined_with_resident(self, small_workload):
+        lhs, rhs = small_workload
+        result, __ = run_disk_join(
+            lhs, rhs, PSJPartitioner(8, seed=1),
+            spill_candidates=True, resident_partitions=3,
+        )
+        assert result == containment_pairs_nested_loop(lhs, rhs)
+
+
+class TestVerifyPerPartition:
+    def test_result_and_counts_match_deferred_mode(self, small_workload):
+        lhs, rhs = small_workload
+        deferred_result, deferred = run_disk_join(
+            lhs, rhs, PSJPartitioner(8, seed=1)
+        )
+        interleaved_result, interleaved = run_disk_join(
+            lhs, rhs, PSJPartitioner(8, seed=1), verify_per_partition=True
+        )
+        assert interleaved_result == deferred_result
+        assert interleaved.candidates == deferred.candidates
+        assert interleaved.false_positives == deferred.false_positives
+        assert interleaved.signature_comparisons == deferred.signature_comparisons
+
+    def test_dcj_duplicates_verified_once(self, small_workload):
+        """Pairs co-located in several DCJ partitions must be verified
+        exactly once: set comparisons equal distinct candidates."""
+        from repro.core.dcj import DCJPartitioner
+
+        lhs, rhs = small_workload
+        partitioner = DCJPartitioner.for_cardinalities(16, 8, 16)
+        __, metrics = run_disk_join(
+            lhs, rhs, partitioner, verify_per_partition=True
+        )
+        assert metrics.set_comparisons == metrics.candidates
+
+    def test_mutually_exclusive_with_spilling(self, paper_r, paper_s):
+        with Testbed() as testbed:
+            testbed.load(paper_r, paper_s)
+            with pytest.raises(ConfigurationError):
+                SetContainmentJoin(
+                    testbed, PSJPartitioner(4),
+                    spill_candidates=True, verify_per_partition=True,
+                )
+
+    def test_combined_with_resident_partitions(self, small_workload):
+        lhs, rhs = small_workload
+        result, __ = run_disk_join(
+            lhs, rhs, PSJPartitioner(8, seed=1),
+            verify_per_partition=True, resident_partitions=4,
+        )
+        assert result == containment_pairs_nested_loop(lhs, rhs)
+
+
+class TestSpaceReclamation:
+    def test_partition_pages_freed_after_join(self, small_workload):
+        """Partitions are temporary: their pages return to the free list."""
+        lhs, rhs = small_workload
+        with Testbed() as testbed:
+            testbed.load(lhs, rhs)
+            live_before = testbed.disk.num_live_pages
+            join = SetContainmentJoin(testbed, PSJPartitioner(8, seed=1))
+            join.run()
+            # Only the relations remain live; partition pages were freed.
+            assert testbed.disk.num_free_pages > 0
+            assert testbed.disk.num_live_pages == live_before
+
+    def test_repeated_joins_reuse_pages(self, small_workload):
+        """Running many joins must not grow the store without bound."""
+        lhs, rhs = small_workload
+        with Testbed() as testbed:
+            testbed.load(lhs, rhs)
+            join = SetContainmentJoin(testbed, PSJPartitioner(8, seed=1))
+            join.run()
+            pages_after_first = testbed.disk.num_pages
+            for __ in range(3):
+                join.run()
+            assert testbed.disk.num_pages <= pages_after_first + 2
+
+
+class TestSignatureAdvisor:
+    def test_wider_for_more_comparisons(self):
+        few = recommend_signature_bits(50, 100, pairs_compared=1e4)
+        many = recommend_signature_bits(50, 100, pairs_compared=1e10)
+        assert many > few
+
+    def test_paper_scale_within_papers_choice(self):
+        """For the case study's θ and comparison volume, the advisor's
+        minimum (88 bits) is comfortably below the paper's conservative
+        160 bits — consistent with 'the exact choice ... is less
+        critical' — and 160 bits indeed leaves ≪ 1 expected false
+        positive."""
+        pairs = 0.5 * 10_000 * 10_000
+        bits = recommend_signature_bits(50, 100, pairs_compared=pairs)
+        assert 64 <= bits <= 160
+        from repro.core.signatures import false_positive_probability
+
+        assert pairs * false_positive_probability(50, 100, 160) < 1e-6
+
+    def test_byte_aligned(self):
+        bits = recommend_signature_bits(10, 20, pairs_compared=1e6)
+        assert bits % 8 == 0
+
+    def test_capped_at_max(self):
+        bits = recommend_signature_bits(
+            1000, 10_000, pairs_compared=1e18, max_bits=512
+        )
+        assert bits == 512
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            recommend_signature_bits(10, 20, pairs_compared=-1)
+        with pytest.raises(ConfigurationError):
+            recommend_signature_bits(10, 20, 100, target_false_positives=0)

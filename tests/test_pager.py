@@ -1,0 +1,114 @@
+"""Tests for the page-level disk managers and their I/O accounting."""
+
+import pytest
+
+from repro.errors import PageError
+from repro.storage.pager import FileDiskManager, InMemoryDiskManager, IOStats
+
+
+@pytest.fixture(params=["memory", "file"])
+def disk(request, tmp_path):
+    if request.param == "memory":
+        manager = InMemoryDiskManager(page_size=256)
+    else:
+        manager = FileDiskManager(str(tmp_path / "pages.db"), page_size=256)
+    yield manager
+    manager.close()
+
+
+class TestDiskManagers:
+    def test_allocate_returns_sequential_ids(self, disk):
+        assert disk.allocate_page() == 0
+        assert disk.allocate_page() == 1
+        assert disk.num_pages == 2
+
+    def test_new_pages_are_zeroed(self, disk):
+        page_id = disk.allocate_page()
+        assert disk.read_page(page_id) == bytes(256)
+
+    def test_write_read_roundtrip(self, disk):
+        page_id = disk.allocate_page()
+        data = bytes(range(256))
+        disk.write_page(page_id, data)
+        assert disk.read_page(page_id) == data
+
+    def test_out_of_range_read_rejected(self, disk):
+        with pytest.raises(PageError):
+            disk.read_page(0)
+        disk.allocate_page()
+        with pytest.raises(PageError):
+            disk.read_page(1)
+
+    def test_short_write_rejected(self, disk):
+        page_id = disk.allocate_page()
+        with pytest.raises(PageError):
+            disk.write_page(page_id, b"short")
+
+    def test_io_counters(self, disk):
+        page_id = disk.allocate_page()
+        disk.write_page(page_id, bytes(256))
+        disk.write_page(page_id, bytes(256))
+        disk.read_page(page_id)
+        assert disk.stats.pages_allocated == 1
+        assert disk.stats.page_writes == 2
+        assert disk.stats.page_reads == 1
+
+    def test_stats_snapshot_and_delta(self, disk):
+        page_id = disk.allocate_page()
+        before = disk.stats.snapshot()
+        disk.read_page(page_id)
+        disk.read_page(page_id)
+        delta = disk.stats.delta(before)
+        assert delta.page_reads == 2
+        assert delta.page_writes == 0
+
+    def test_free_page_reuse(self, disk):
+        first = disk.allocate_page()
+        disk.write_page(first, b"\xcc" * 256)
+        disk.free_page(first)
+        assert disk.num_free_pages == 1
+        assert disk.num_live_pages == 0
+        reused = disk.allocate_page()
+        assert reused == first
+        # Reused pages come back zeroed.
+        assert disk.read_page(reused) == bytes(256)
+        assert disk.num_free_pages == 0
+
+    def test_double_free_rejected(self, disk):
+        page_id = disk.allocate_page()
+        disk.free_page(page_id)
+        with pytest.raises(PageError):
+            disk.free_page(page_id)
+
+    def test_free_unknown_page_rejected(self, disk):
+        with pytest.raises(PageError):
+            disk.free_page(3)
+
+    def test_tiny_page_size_rejected(self):
+        with pytest.raises(PageError):
+            InMemoryDiskManager(page_size=16)
+
+
+class TestFilePersistence:
+    def test_reopen_preserves_pages(self, tmp_path):
+        path = str(tmp_path / "persist.db")
+        with FileDiskManager(path, page_size=128) as disk:
+            page_id = disk.allocate_page()
+            disk.write_page(page_id, b"\xaa" * 128)
+            disk.flush()
+        with FileDiskManager(path, page_size=128) as reopened:
+            assert reopened.num_pages == 1
+            assert reopened.read_page(0) == b"\xaa" * 128
+
+    def test_misaligned_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.db"
+        path.write_bytes(b"x" * 100)
+        with pytest.raises(PageError):
+            FileDiskManager(str(path), page_size=128)
+
+    def test_context_manager_closes(self, tmp_path):
+        path = str(tmp_path / "ctx.db")
+        with FileDiskManager(path, page_size=128) as disk:
+            disk.allocate_page()
+        # closing twice is harmless
+        disk.close()

@@ -1,0 +1,38 @@
+"""Paper-scale case-study run (opt-in; takes minutes in pure Python).
+
+Enable with::
+
+    SETJOINS_PAPER_SCALE=1 pytest tests/test_paper_scale.py -s
+
+Runs Figures 8 and 9 at the paper's exact sizes (|R| = |S| = 10000) and
+asserts their qualitative conclusions at full scale.
+"""
+
+import os
+
+import pytest
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("SETJOINS_PAPER_SCALE"),
+    reason="paper-scale run is opt-in: set SETJOINS_PAPER_SCALE=1",
+)
+
+
+def test_fig8_paper_scale():
+    from repro.experiments import get_experiment
+
+    result = get_experiment("fig8")(scale=1.0, repeats=1)
+    print(result.render())
+    best = min(result.rows, key=lambda row: row["t_total_s"])
+    assert best["k"] in (16, 32, 64, 128)
+    failing = [d for d, ok in result.checks if not ok]
+    assert not failing, failing
+
+
+def test_fig9_paper_scale():
+    from repro.experiments import get_experiment
+
+    result = get_experiment("fig9")(scale=1.0, repeats=1)
+    print(result.render())
+    failing = [d for d, ok in result.checks if not ok]
+    assert not failing, failing

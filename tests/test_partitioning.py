@@ -1,0 +1,70 @@
+"""Tests for the partitioning interfaces and assignments."""
+
+import pytest
+
+from repro.core.partitioning import PartitionAssignment, Partitioner
+from repro.core.psj import PSJPartitioner
+from repro.core.sets import Relation
+from repro.errors import ConfigurationError
+
+
+class TestPartitionerBase:
+    def test_partition_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            Partitioner(0)
+
+    def test_abstract_methods(self):
+        partitioner = Partitioner(4)
+        with pytest.raises(NotImplementedError):
+            partitioner.assign_r(frozenset())
+        with pytest.raises(NotImplementedError):
+            partitioner.assign_s(frozenset())
+        assert "k=4" in partitioner.describe()
+
+
+class TestPartitionAssignment:
+    def make(self):
+        # Hand-built assignment: R0={0,1}, R1={2}; S0={10}, S1={11,12}.
+        return PartitionAssignment(
+            num_partitions=2,
+            r_partitions=[[0, 1], [2]],
+            s_partitions=[[10], [11, 12]],
+            r_size=3,
+            s_size=3,
+        )
+
+    def test_comparisons(self):
+        assert self.make().comparisons == 2 * 1 + 1 * 2
+
+    def test_replicated_signatures(self):
+        assert self.make().replicated_signatures == 3 + 3
+
+    def test_factors(self):
+        assignment = self.make()
+        assert assignment.comparison_factor == pytest.approx(4 / 9)
+        assert assignment.replication_factor == pytest.approx(1.0)
+
+    def test_factors_with_empty_relations(self):
+        empty = PartitionAssignment(1, [[]], [[]], 0, 0)
+        assert empty.comparison_factor == 0.0
+        assert empty.replication_factor == 0.0
+
+    def test_candidate_pairs(self):
+        assert self.make().candidate_pairs() == {
+            (0, 10), (1, 10), (2, 11), (2, 12),
+        }
+
+    def test_covers(self):
+        assignment = self.make()
+        assert assignment.covers({(0, 10)})
+        assert not assignment.covers({(0, 11)})
+
+    def test_compute_from_partitioner(self):
+        lhs = Relation.from_sets([{0}, {1}, {2}])
+        rhs = Relation.from_sets([{0, 1}, {1, 2}])
+        partitioner = PSJPartitioner(2, seed=0)
+        assignment = PartitionAssignment.compute(partitioner, lhs, rhs)
+        assert assignment.r_size == 3
+        assert assignment.s_size == 2
+        assert sum(map(len, assignment.r_partitions)) == 3  # one copy each
+        assert assignment.num_partitions == 2

@@ -1,0 +1,80 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import get_experiment
+from repro.experiments.base import ExperimentResult
+from repro.experiments.plotting import ascii_chart, plot_result
+
+
+class TestAsciiChart:
+    def test_markers_and_legend(self):
+        chart = ascii_chart([1, 2, 3], {"up": [1, 2, 3], "down": [3, 2, 1]})
+        assert "* up" in chart
+        assert "+ down" in chart
+        assert chart.count("\n") >= 17
+
+    def test_extremes_plotted_at_corners(self):
+        chart = ascii_chart([0, 10], {"line": [0.0, 1.0]}, width=20, height=5)
+        lines = chart.splitlines()
+        assert lines[0].rstrip().endswith("*")  # max at top right
+        assert "*" in lines[4]  # min on the bottom row
+
+    def test_log_x(self):
+        chart = ascii_chart(
+            [2, 4, 8, 1024], {"f": [1, 2, 3, 4]}, log_x=True, width=30
+        )
+        # With log spacing 2->4 and 4->8 are equal steps.  The legend line
+        # (last) also contains the marker; exclude it.
+        plot_lines = chart.splitlines()[:-1]
+        columns = [line.index("*") for line in plot_lines if "*" in line]
+        assert len(columns) == 4
+
+    def test_constant_series_ok(self):
+        chart = ascii_chart([1, 2], {"flat": [5.0, 5.0]})
+        assert "flat" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([], {"x": []})
+        with pytest.raises(ConfigurationError):
+            ascii_chart([1], {})
+        with pytest.raises(ConfigurationError):
+            ascii_chart([1, 2], {"bad": [1]})
+        with pytest.raises(ConfigurationError):
+            ascii_chart([0, 1], {"f": [1, 2]}, log_x=True)
+
+
+class TestPlotResult:
+    def test_plots_registered_figure(self):
+        text = plot_result(get_experiment("fig4")())
+        assert "fig4" in text
+        assert "comp_DCJ" in text
+
+    def test_skips_non_numeric_columns(self):
+        result = ExperimentResult(
+            "demo", "demo", ["x", "y", "label"],
+            rows=[{"x": 1, "y": 2.0, "label": "a"},
+                  {"x": 2, "y": 3.0, "label": "b"}],
+        )
+        text = plot_result(result)
+        assert "y" in text
+        assert "label" not in text.splitlines()[-1]
+
+    def test_errors(self):
+        empty = ExperimentResult("e", "e", ["x"])
+        with pytest.raises(ConfigurationError):
+            plot_result(empty)
+        textual = ExperimentResult(
+            "t", "t", ["x", "y"], rows=[{"x": "a", "y": "b"}]
+        )
+        with pytest.raises(ConfigurationError):
+            plot_result(textual)
+        no_series = ExperimentResult(
+            "n", "n", ["x", "y"], rows=[{"x": 1, "y": "text"}]
+        )
+        with pytest.raises(ConfigurationError):
+            plot_result(no_series)
+        with pytest.raises(ConfigurationError):
+            plot_result(get_experiment("fig4")(), x_column="nope")

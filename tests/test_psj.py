@@ -1,0 +1,98 @@
+"""Tests for the Partitioning Set Join (PSJ) partitioner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioning import PartitionAssignment
+from repro.core.psj import PSJPartitioner
+from repro.core.sets import Relation, containment_pairs_nested_loop
+from repro.errors import ConfigurationError
+
+
+class TestPaperExample:
+    PINNED = {
+        frozenset({1, 5}): 5,
+        frozenset({10, 13}): 10,
+        frozenset({1, 3}): 3,
+        frozenset({8, 19}): 19,
+    }
+
+    def make_partitioner(self):
+        return PSJPartitioner(
+            8, choose_element=lambda elements: self.PINNED[frozenset(elements)]
+        )
+
+    def test_figure1_counts(self, paper_r, paper_s):
+        """Figure 1: 9 comparisons, 16 replicated signatures (k=8)."""
+        assignment = PartitionAssignment.compute(
+            self.make_partitioner(), paper_r, paper_s
+        )
+        assert assignment.comparisons == 9
+        assert assignment.replicated_signatures == 16
+
+    def test_figure1_assignments(self, paper_r, paper_s):
+        """Section 2.2's walkthrough: a→R5, b→R2, c,d→R3; A→S1,S5,S7 etc."""
+        partitioner = self.make_partitioner()
+        assert partitioner.assign_r(paper_r[0].elements) == [5]
+        assert partitioner.assign_r(paper_r[1].elements) == [2]
+        assert partitioner.assign_r(paper_r[2].elements) == [3]
+        assert partitioner.assign_r(paper_r[3].elements) == [3]
+        assert partitioner.assign_s(paper_s[0].elements) == [1, 5, 7]
+        assert partitioner.assign_s(paper_s[1].elements) == [0, 2, 5]
+
+    def test_figure1_covers_join(self, paper_r, paper_s, paper_truth):
+        assignment = PartitionAssignment.compute(
+            self.make_partitioner(), paper_r, paper_s
+        )
+        assert assignment.covers(paper_truth)
+
+
+class TestBehaviour:
+    def test_r_goes_to_exactly_one_partition(self):
+        partitioner = PSJPartitioner(16, seed=3)
+        for elements in ({1, 2, 3}, {500}, set(range(100))):
+            assert len(partitioner.assign_r(frozenset(elements))) == 1
+
+    def test_s_partitions_are_distinct_and_sorted(self):
+        partitioner = PSJPartitioner(4, seed=3)
+        parts = partitioner.assign_s(frozenset(range(100)))
+        assert parts == sorted(set(parts)) == [0, 1, 2, 3]
+
+    def test_empty_r_set_broadcast(self):
+        partitioner = PSJPartitioner(4)
+        assert partitioner.assign_r(frozenset()) == [0, 1, 2, 3]
+        assert partitioner.assign_s(frozenset()) == [0]
+
+    def test_seed_reproducibility(self):
+        a = PSJPartitioner(8, seed=42)
+        b = PSJPartitioner(8, seed=42)
+        sets = [frozenset({i, i * 7, i * 13}) for i in range(50)]
+        assert [a.assign_r(s) for s in sets] == [b.assign_r(s) for s in sets]
+
+    def test_hashed_elements_mode(self):
+        """With hash_elements, skewed values still spread over partitions."""
+        partitioner = PSJPartitioner(8, seed=1, hash_elements=True)
+        # All elements ≡ 0 mod 8 — raw modulo would hit partition 0 only.
+        parts = partitioner.assign_s(frozenset(range(0, 800, 8)))
+        assert len(parts) == 8
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ConfigurationError):
+            PSJPartitioner(0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    r_sets=st.lists(st.frozensets(st.integers(0, 300), max_size=8), max_size=12),
+    s_sets=st.lists(st.frozensets(st.integers(0, 300), max_size=12), max_size=12),
+    k=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=5),
+)
+def test_psj_partitioning_is_correct(r_sets, s_sets, k, seed):
+    """Property: every joining pair is co-located (any k, any seed)."""
+    lhs = Relation.from_sets(r_sets)
+    rhs = Relation.from_sets(s_sets)
+    partitioner = PSJPartitioner(k, seed=seed)
+    assignment = PartitionAssignment.compute(partitioner, lhs, rhs)
+    assert assignment.covers(containment_pairs_nested_loop(lhs, rhs))

@@ -1,0 +1,91 @@
+"""Tests for the tid-keyed relation store."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import InMemoryDiskManager
+from repro.storage.relation_store import RelationStore
+
+
+@pytest.fixture()
+def pool():
+    return BufferPool(InMemoryDiskManager(1024), capacity=64)
+
+
+@pytest.fixture()
+def store(pool):
+    return RelationStore.create(pool, name="R")
+
+
+class TestRelationStore:
+    def test_insert_and_fetch(self, store):
+        store.insert(7, {1, 2, 3}, b"payload")
+        assert store.fetch(7) == (frozenset({1, 2, 3}), b"payload")
+        assert store.fetch_set(7) == frozenset({1, 2, 3})
+
+    def test_fetch_missing(self, store):
+        assert store.fetch(1) is None
+        assert store.fetch_set(1) is None
+
+    def test_len_and_contains(self, store):
+        store.insert(1, {1})
+        store.insert(2, {2})
+        store.insert(1, {9})  # overwrite, not a new tuple
+        assert len(store) == 2
+        assert 1 in store
+        assert 3 not in store
+        assert store.fetch_set(1) == frozenset({9})
+
+    def test_bulk_load_with_payload_size(self, store):
+        count = store.bulk_load([(i, {i, i + 1}) for i in range(40)], payload_size=16)
+        assert count == 40
+        assert len(store) == 40
+        __, payload = store.fetch(5)
+        assert payload == bytes(16)
+
+    def test_scan_in_tid_order(self, store):
+        for tid in (30, 10, 20):
+            store.insert(tid, {tid})
+        assert [tid for tid, __, __ in store.scan()] == [10, 20, 30]
+        assert list(store.tids()) == [10, 20, 30]
+
+    def test_fetch_many_ignores_missing_and_dedups(self, store):
+        store.insert(1, {1})
+        store.insert(2, {2})
+        result = store.fetch_many([2, 1, 2, 99])
+        assert result == {1: frozenset({1}), 2: frozenset({2})}
+
+    def test_reopen_by_meta_page(self, pool):
+        store = RelationStore.create(pool, name="R")
+        store.bulk_load([(i, {i}) for i in range(20)])
+        pool.flush_all()
+        reopened = RelationStore(pool, store.meta_page_id, name="R2")
+        assert len(reopened) == 20
+        assert reopened.fetch_set(11) == frozenset({11})
+
+    def test_create_sorted_bulk_load(self, pool):
+        rows = [(tid, {tid, tid * 3}) for tid in range(200)]
+        store = RelationStore.create_sorted(pool, rows, payload_size=8,
+                                            name="bulk")
+        assert len(store) == 200
+        assert store.fetch_set(77) == frozenset({77, 231})
+        assert list(store.tids()) == list(range(200))
+        __, payload = store.fetch(5)
+        assert payload == bytes(8)
+
+    def test_create_sorted_large_sets_chunked(self, pool):
+        rows = [(0, set(range(0, 4000, 2))), (1, {9})]
+        store = RelationStore.create_sorted(pool, rows)
+        assert store.fetch_set(0) == frozenset(range(0, 4000, 2))
+        assert store.fetch_set(1) == frozenset({9})
+
+    def test_create_sorted_rejects_unsorted(self, pool):
+        from repro.errors import BTreeError
+
+        with pytest.raises(BTreeError):
+            RelationStore.create_sorted(pool, [(5, {1}), (2, {1})])
+
+    def test_large_sets_roundtrip(self, store):
+        elements = set(range(0, 5000, 7))
+        store.insert(1, elements, b"p" * 100)
+        assert store.fetch_set(1) == frozenset(elements)

@@ -1,0 +1,108 @@
+"""Tests for set-valued tuples and relations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sets import (
+    Relation,
+    SetTuple,
+    containment_pairs_nested_loop,
+    elements_from_values,
+    hash_value_to_element,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSetTuple:
+    def test_basic(self):
+        row = SetTuple(3, frozenset({1, 2}))
+        assert row.tid == 3
+        assert row.cardinality == 2
+
+    def test_coerces_to_frozenset(self):
+        row = SetTuple(0, {1, 2, 3})
+        assert isinstance(row.elements, frozenset)
+
+    def test_negative_tid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SetTuple(-1, frozenset())
+
+    def test_subset_predicate(self):
+        small = SetTuple(0, frozenset({1, 2}))
+        big = SetTuple(1, frozenset({1, 2, 3}))
+        assert small.is_subset_of(big)
+        assert not big.is_subset_of(small)
+        assert SetTuple(2, frozenset()).is_subset_of(small)
+
+
+class TestRelation:
+    def test_from_sets_assigns_sequential_tids(self):
+        relation = Relation.from_sets([{1}, {2}, {3}], name="R")
+        assert relation.tids() == [0, 1, 2]
+        assert relation[1].elements == frozenset({2})
+
+    def test_from_mapping(self):
+        relation = Relation.from_mapping({5: {1}, 2: {9}})
+        assert relation.tids() == [2, 5]
+
+    def test_duplicate_tid_rejected(self):
+        relation = Relation.from_sets([{1}])
+        with pytest.raises(ConfigurationError):
+            relation.add(SetTuple(0, frozenset({2})))
+
+    def test_len_iter_contains(self):
+        relation = Relation.from_sets([{1}, {2}])
+        assert len(relation) == 2
+        assert 1 in relation
+        assert 9 not in relation
+        assert [row.tid for row in relation] == [0, 1]
+
+    def test_average_and_max_cardinality(self):
+        relation = Relation.from_sets([{1}, {1, 2, 3}])
+        assert relation.average_cardinality() == 2.0
+        assert relation.max_cardinality() == 3
+        assert Relation().average_cardinality() == 0.0
+
+    def test_domain_bound(self):
+        relation = Relation.from_sets([{1, 100}, {5}])
+        assert relation.domain_bound() == 101
+        assert Relation().domain_bound() == 1
+
+    def test_sample_cardinality(self):
+        relation = Relation.from_sets([{1, 2}] * 50)
+        assert relation.sample_cardinality(10, seed=1) == 2.0
+
+
+class TestHashedElements:
+    def test_deterministic(self):
+        assert hash_value_to_element("python") == hash_value_to_element("python")
+
+    def test_domain_bound(self):
+        for value in ("a", "b", 42, ("t", 1)):
+            assert 0 <= hash_value_to_element(value, 1000) < 1000
+
+    def test_elements_from_values(self):
+        skills = elements_from_values({"sql", "python", "java"})
+        assert len(skills) == 3
+        assert skills == elements_from_values({"java", "python", "sql"})
+
+
+class TestBruteForceJoin:
+    def test_paper_example(self, paper_r, paper_s, paper_truth):
+        assert containment_pairs_nested_loop(paper_r, paper_s) == paper_truth
+
+    def test_empty_set_joins_everything(self):
+        lhs = Relation.from_sets([set()])
+        rhs = Relation.from_sets([{1}, set(), {2, 3}])
+        assert containment_pairs_nested_loop(lhs, rhs) == {(0, 0), (0, 1), (0, 2)}
+
+    @given(
+        st.lists(st.frozensets(st.integers(0, 30), max_size=6), max_size=8),
+        st.lists(st.frozensets(st.integers(0, 30), max_size=8), max_size=8),
+    )
+    def test_result_pairs_really_join(self, r_sets, s_sets):
+        lhs = Relation.from_sets(r_sets)
+        rhs = Relation.from_sets(s_sets)
+        for r_tid, s_tid in containment_pairs_nested_loop(lhs, rhs):
+            assert lhs[r_tid].elements <= rhs[s_tid].elements

@@ -1,0 +1,66 @@
+"""Tests for the main-memory Signature-Hash Join (SHJ)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sets import Relation, containment_pairs_nested_loop
+from repro.core.shj import estimate_memory_bytes, shj_join
+from repro.errors import ConfigurationError, MemoryLimitExceeded
+
+
+class TestSHJ:
+    def test_paper_example(self, paper_r, paper_s, paper_truth):
+        result, metrics = shj_join(paper_r, paper_s, signature_bits=4)
+        assert result == paper_truth
+        assert metrics.algorithm == "SHJ"
+        assert metrics.result_size == 3
+
+    def test_probe_count_bounded_by_filter(self, small_workload):
+        lhs, rhs = small_workload
+        result, metrics = shj_join(lhs, rhs, signature_bits=10)
+        assert result == containment_pairs_nested_loop(lhs, rhs)
+        # Every probe hit is a signature-filter candidate; they can be far
+        # fewer than the |R|x|S| comparisons a nested loop would do.
+        assert metrics.candidates < len(lhs) * len(rhs)
+
+    def test_signature_width_validation(self):
+        relation = Relation.from_sets([{1}])
+        with pytest.raises(ConfigurationError):
+            shj_join(relation, relation, signature_bits=0)
+        with pytest.raises(ConfigurationError):
+            shj_join(relation, relation, signature_bits=30)
+
+    def test_memory_budget_enforced(self, small_workload):
+        """SHJ is main-memory only — the limitation motivating LSJ/DCJ."""
+        lhs, rhs = small_workload
+        with pytest.raises(MemoryLimitExceeded):
+            shj_join(lhs, rhs, memory_budget_bytes=1_000)
+        # A generous budget works.
+        result, __ = shj_join(lhs, rhs, memory_budget_bytes=10**9)
+        assert result == containment_pairs_nested_loop(lhs, rhs)
+
+    def test_memory_estimate_scales_with_elements(self):
+        small = Relation.from_sets([{1}] * 10)
+        large = Relation.from_sets([set(range(100))] * 10)
+        assert estimate_memory_bytes(large, large) > estimate_memory_bytes(small, small)
+
+    def test_empty_relations(self):
+        empty = Relation()
+        other = Relation.from_sets([{1, 2}])
+        assert shj_join(empty, other)[0] == set()
+        assert shj_join(other, empty)[0] == set()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    r_sets=st.lists(st.frozensets(st.integers(0, 200), max_size=8), max_size=15),
+    s_sets=st.lists(st.frozensets(st.integers(0, 200), max_size=12), max_size=15),
+    bits=st.integers(min_value=4, max_value=12),
+)
+def test_shj_equals_brute_force(r_sets, s_sets, bits):
+    """Property: SHJ computes exactly the containment join."""
+    lhs = Relation.from_sets(r_sets)
+    rhs = Relation.from_sets(s_sets)
+    result, __ = shj_join(lhs, rhs, signature_bits=bits)
+    assert result == containment_pairs_nested_loop(lhs, rhs)

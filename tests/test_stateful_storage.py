@@ -1,0 +1,125 @@
+"""Stateful property tests (hypothesis rule-based machines) for storage.
+
+These drive the B-tree and the buffer pool through arbitrary interleaved
+operation sequences, checking after every step that observable behaviour
+matches a trivial in-memory model — the strongest correctness net we have
+over the storage engine.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.storage.btree import BTree
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import InMemoryDiskManager
+
+KEYS = st.integers(min_value=0, max_value=120).map(
+    lambda value: value.to_bytes(4, "big")
+)
+VALUES = st.binary(max_size=48)
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """The B-tree must behave exactly like a sorted dict, always."""
+
+    def __init__(self):
+        super().__init__()
+        disk = InMemoryDiskManager(256)
+        self.pool = BufferPool(disk, capacity=8)
+        self.tree = BTree.create(self.pool)
+        self.model: dict[bytes, bytes] = {}
+
+    @rule(key=KEYS, value=VALUES)
+    def insert(self, key, value):
+        self.tree.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        assert self.tree.delete(key) == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(key=KEYS)
+    def lookup(self, key):
+        assert self.tree.get(key) == self.model.get(key)
+
+    @rule(lo=KEYS, hi=KEYS)
+    def range_scan(self, lo, hi):
+        lo, hi = min(lo, hi), max(lo, hi)
+        got = list(self.tree.scan(lo, hi))
+        expected = sorted(
+            (key, value) for key, value in self.model.items() if lo <= key < hi
+        )
+        assert got == expected
+
+    @rule()
+    def reopen(self):
+        """Flushing and reopening from the meta page must lose nothing."""
+        self.pool.flush_all()
+        self.tree = BTree(self.pool, self.tree.meta_page_id)
+
+    @invariant()
+    def full_scan_matches_model(self):
+        assert list(self.tree.items()) == sorted(self.model.items())
+
+
+class BufferPoolMachine(RuleBasedStateMachine):
+    """The pool must never lose a committed write, whatever the sequence."""
+
+    pages = Bundle("pages")
+
+    def __init__(self):
+        super().__init__()
+        self.disk = InMemoryDiskManager(64)
+        self.pool = BufferPool(self.disk, capacity=3)
+        self.model: dict[int, int] = {}
+
+    @rule(target=pages)
+    def new_page(self):
+        frame = self.pool.new_page()
+        self.pool.unpin(frame.page_id, dirty=True)
+        self.model[frame.page_id] = 0
+        return frame.page_id
+
+    @rule(page_id=pages, value=st.integers(0, 255))
+    def write(self, page_id, value):
+        frame = self.pool.fetch(page_id)
+        frame.data[0] = value
+        self.pool.unpin(page_id, dirty=True)
+        self.model[page_id] = value
+
+    @rule(page_id=pages)
+    def read(self, page_id):
+        frame = self.pool.fetch(page_id)
+        try:
+            assert frame.data[0] == self.model[page_id]
+        finally:
+            self.pool.unpin(page_id)
+
+    @rule()
+    def flush(self):
+        self.pool.flush_all()
+
+    @rule()
+    def cold_restart(self):
+        """Flush + drop simulates a restart: disk must hold everything."""
+        self.pool.flush_all()
+        self.pool.drop_all()
+        for page_id, value in self.model.items():
+            assert self.disk.read_page(page_id)[0] == value
+
+
+TestBTreeMachine = BTreeMachine.TestCase
+TestBTreeMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+TestBufferPoolMachine = BufferPoolMachine.TestCase
+TestBufferPoolMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

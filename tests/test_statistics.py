@@ -1,0 +1,61 @@
+"""Tests for relation statistics collection."""
+
+import pytest
+
+from repro.analysis.statistics import collect_statistics
+from repro.core.sets import Relation
+from repro.data.workloads import uniform_workload
+from repro.errors import ConfigurationError
+
+
+class TestExactStatistics:
+    def test_basic_summary(self):
+        relation = Relation.from_sets([{1, 2}, {3}, set(), {1, 2, 3, 4}],
+                                      name="T")
+        stats = collect_statistics(relation)
+        assert stats.size == 4
+        assert stats.min_cardinality == 0
+        assert stats.max_cardinality == 4
+        assert stats.mean_cardinality == pytest.approx(7 / 4)
+        assert stats.median_cardinality == pytest.approx(1.5)
+        assert stats.empty_sets == 1
+        assert stats.distinct_elements == 4
+        assert stats.domain_bound == 5
+        assert not stats.sampled
+
+    def test_odd_count_median(self):
+        relation = Relation.from_sets([{1}, {1, 2}, {1, 2, 3}])
+        assert collect_statistics(relation).median_cardinality == 2.0
+
+    def test_empty_relation(self):
+        stats = collect_statistics(Relation(name="E"))
+        assert stats.size == 0
+        assert stats.mean_cardinality == 0.0
+
+    def test_describe_output(self):
+        relation = Relation.from_sets([{1, 2}], name="R")
+        text = collect_statistics(relation).describe()
+        assert "relation R" in text
+        assert "cardinality" in text
+
+
+class TestSampledStatistics:
+    def test_sampling_flag_and_accuracy(self):
+        lhs, __ = uniform_workload(500, 10, 20, 40, seed=3).materialize()
+        exact = collect_statistics(lhs)
+        sampled = collect_statistics(lhs, sample_size=100, seed=1)
+        assert sampled.sampled
+        assert sampled.size == exact.size  # size is always exact
+        assert sampled.mean_cardinality == pytest.approx(
+            exact.mean_cardinality, rel=0.1
+        )
+
+    def test_sample_bigger_than_relation_is_exact(self):
+        relation = Relation.from_sets([{1}, {2}])
+        stats = collect_statistics(relation, sample_size=100)
+        assert not stats.sampled
+
+    def test_invalid_sample_size(self):
+        relation = Relation.from_sets([{1}])
+        with pytest.raises(ConfigurationError):
+            collect_statistics(relation, sample_size=0)

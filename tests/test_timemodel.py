@@ -1,0 +1,106 @@
+"""Tests for the execution-time model and its calibration."""
+
+import pytest
+
+from repro.analysis.timemodel import (
+    PAPER_TIME_MODEL,
+    CalibrationSample,
+    TimeModel,
+    calibrate,
+)
+from repro.core.metrics import JoinMetrics, PhaseMetrics
+from repro.errors import CalibrationError
+
+
+class TestTimeModel:
+    def test_predict_formula(self):
+        model = TimeModel(c1=2.0, c2=3.0, c3=1.0)
+        # 2*10 + 3*5*4 = 80
+        assert model.predict(10, 5, 4) == pytest.approx(80.0)
+
+    def test_predict_factors(self):
+        model = TimeModel(c1=1.0, c2=1.0, c3=0.0)
+        # x = 0.5*100*200, y = 2*(100+200), k^0 = 1
+        assert model.predict_factors(0.5, 2.0, 100, 200, 8) == pytest.approx(
+            10_000 + 600
+        )
+
+    def test_paper_constants(self):
+        assert PAPER_TIME_MODEL.c1 == pytest.approx(5.12686e-7)
+        assert PAPER_TIME_MODEL.c2 == pytest.approx(8.28197e-7)
+        assert PAPER_TIME_MODEL.c3 == pytest.approx(0.691485)
+
+    def test_paper_scale_prediction_magnitude(self):
+        """Sanity: for the case-study inputs the paper's model predicts
+        tens of seconds, matching the reported 24-48 s range."""
+        # DCJ at k=32: comp ≈ 0.446, repl ≈ 2.66 for λ=2.
+        seconds = PAPER_TIME_MODEL.predict_factors(
+            0.446, 2.66, 10_000, 10_000, 32
+        )
+        assert 20 < seconds < 60
+
+    def test_prediction_errors(self):
+        model = TimeModel(1.0, 0.0, 0.0)
+        samples = [
+            CalibrationSample(10, 0, 2, seconds=10.0),  # exact
+            CalibrationSample(10, 0, 2, seconds=20.0),  # 50% off
+        ]
+        assert model.prediction_errors(samples) == [
+            pytest.approx(0.0), pytest.approx(0.5),
+        ]
+        assert model.mean_prediction_error(samples) == pytest.approx(0.25)
+        assert model.mean_prediction_error([]) == 0.0
+
+
+class TestCalibration:
+    def make_samples(self, model: TimeModel, noise: float = 0.0):
+        samples = []
+        for x in (1e5, 1e6, 5e6):
+            for y in (1e3, 1e4):
+                for k in (4, 32, 256):
+                    seconds = model.predict(x, y, k) * (1.0 + noise)
+                    samples.append(CalibrationSample(x, y, k, seconds))
+                    noise = -noise  # alternate sign
+        return samples
+
+    def test_recovers_exact_constants(self):
+        truth = TimeModel(c1=3e-7, c2=9e-7, c3=0.7)
+        fitted = calibrate(self.make_samples(truth))
+        assert fitted.c1 == pytest.approx(truth.c1, rel=1e-3)
+        assert fitted.c2 == pytest.approx(truth.c2, rel=1e-3)
+        assert fitted.c3 == pytest.approx(truth.c3, abs=1e-3)
+
+    def test_noisy_fit_keeps_error_near_noise_level(self):
+        truth = TimeModel(c1=3e-7, c2=9e-7, c3=0.7)
+        samples = self.make_samples(truth, noise=0.10)
+        fitted = calibrate(samples)
+        assert fitted.mean_prediction_error(samples) <= 0.11
+
+    def test_accepts_join_metrics(self):
+        metrics = JoinMetrics(
+            algorithm="DCJ", num_partitions=8, r_size=10, s_size=10,
+            signature_comparisons=1000, replicated_signatures=50,
+        )
+        metrics.joining = PhaseMetrics(seconds=0.5)
+        metrics.partitioning = PhaseMetrics(seconds=0.5)
+        model = calibrate([metrics] * 4)
+        assert model.predict(1000, 50, 8) > 0
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(CalibrationError):
+            calibrate([CalibrationSample(1, 1, 2, 1.0)])
+
+    def test_nonpositive_times_rejected(self):
+        samples = [CalibrationSample(1, 1, 2, 0.0)] * 5
+        with pytest.raises(CalibrationError):
+            calibrate(samples)
+
+    def test_sample_from_metrics(self):
+        metrics = JoinMetrics(num_partitions=16, signature_comparisons=5,
+                              replicated_signatures=7)
+        metrics.verification = PhaseMetrics(seconds=2.0)
+        sample = CalibrationSample.from_metrics(metrics)
+        assert sample.comparisons == 5
+        assert sample.replicated_signatures == 7
+        assert sample.num_partitions == 16
+        assert sample.seconds == 2.0
