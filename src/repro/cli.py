@@ -159,6 +159,19 @@ def _cmd_db(arguments) -> int:
                   f"({metrics.algorithm}, k={metrics.num_partitions})",
                   file=sys.stderr)
             return 0
+        if arguments.action == "verify":
+            from .errors import StorageError
+
+            try:
+                report = db.verify_integrity()
+            except StorageError as error:
+                print(f"INTEGRITY FAILURE: {error}", file=sys.stderr)
+                return 1
+            print(f"ok: {report['relations']} relations, "
+                  f"{report['tuples']} tuples, "
+                  f"{report['pages_read']} pages read, "
+                  f"all checksums valid")
+            return 0
         print(f"unknown db action {arguments.action!r}", file=sys.stderr)
         return 2
 
@@ -264,7 +277,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     database.add_argument("database", help="database file path")
     database.add_argument(
-        "action", choices=["list", "load", "drop", "explain", "join"]
+        "action", choices=["list", "load", "drop", "explain", "join", "verify"]
     )
     database.add_argument("args", nargs="*", help="action arguments")
     database.set_defaults(handler=_cmd_db)

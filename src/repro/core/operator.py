@@ -30,11 +30,12 @@ comparison counts, much faster at paper scale).
 from __future__ import annotations
 
 import time
+from contextlib import suppress
 from typing import Iterable
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SetJoinError
 from ..storage.buffer import BufferPool
 from ..storage.pager import DiskManager, FileDiskManager, InMemoryDiskManager
 from ..storage.partition_store import PartitionStore
@@ -218,23 +219,39 @@ class SetContainmentJoin:
             signature_bits=self.signature_bits,
         )
         parts_r, parts_s = self._partition_phase(metrics)
-        if self.verify_per_partition:
-            result = self._join_and_verify_phase(parts_r, parts_s, metrics)
-            parts_r.drop()
-            parts_s.drop()
-            self._resident_r = []
-            self._resident_s = []
-        else:
-            candidates = self._join_phase(parts_r, parts_s, metrics)
-            # Partition data is temporary ("stored on disk temporarily");
-            # reclaim its pages before verification.
-            parts_r.drop()
-            parts_s.drop()
-            self._resident_r = []
-            self._resident_s = []
-            result = self._verification_phase(candidates, metrics)
+        candidates: _CandidateSink | None = None
+        try:
+            if self.verify_per_partition:
+                result = self._join_and_verify_phase(parts_r, parts_s, metrics)
+                self._drop_partitions(parts_r, parts_s)
+            else:
+                candidates = self._join_phase(parts_r, parts_s, metrics)
+                # Partition data is temporary ("stored on disk temporarily");
+                # reclaim its pages before verification.
+                self._drop_partitions(parts_r, parts_s)
+                result = self._verification_phase(candidates, metrics)
+        except BaseException:
+            # Spill cleanup must run on the failure path too, so an
+            # aborted join never strands temporary pages in a long-lived
+            # database session.
+            self._drop_partitions(parts_r, parts_s)
+            if candidates is not None:
+                with suppress(SetJoinError):
+                    candidates.dispose()
+            raise
         metrics.result_size = len(result)
         return result, metrics
+
+    def _drop_partitions(
+        self, parts_r: "PartitionStore | None", parts_s: "PartitionStore | None"
+    ) -> None:
+        """Best-effort, idempotent reclamation of temporary partition pages."""
+        for store in (parts_r, parts_s):
+            if store is not None and not store.dropped:
+                with suppress(SetJoinError):
+                    store.drop()
+        self._resident_r = []
+        self._resident_s = []
 
     # ------------------------------------------------------------------
     # Phase 1: partitioning
@@ -252,27 +269,33 @@ class SetContainmentJoin:
         self._resident_r = [[] for __ in range(resident)]
         self._resident_s = [[] for __ in range(resident)]
 
-        parts_r = self._make_store()
-        for tid, elements, __ in self.testbed.relation_r.scan():
-            signature = signature_of(elements, self.signature_bits)
-            for index in self.partitioner.assign_r(elements):
-                if index < resident:
-                    self._resident_r[index].append((signature, tid))
-                else:
-                    parts_r.append(index, signature, tid)
-        parts_r.seal()
+        parts_r: PartitionStore | None = None
+        parts_s: PartitionStore | None = None
+        try:
+            parts_r = self._make_store()
+            for tid, elements, __ in self.testbed.relation_r.scan():
+                signature = signature_of(elements, self.signature_bits)
+                for index in self.partitioner.assign_r(elements):
+                    if index < resident:
+                        self._resident_r[index].append((signature, tid))
+                    else:
+                        parts_r.append(index, signature, tid)
+            parts_r.seal()
 
-        parts_s = self._make_store()
-        for tid, elements, __ in self.testbed.relation_s.scan():
-            signature = signature_of(elements, self.signature_bits)
-            for index in self.partitioner.assign_s(elements):
-                if index < resident:
-                    self._resident_s[index].append((signature, tid))
-                else:
-                    parts_s.append(index, signature, tid)
-        parts_s.seal()
+            parts_s = self._make_store()
+            for tid, elements, __ in self.testbed.relation_s.scan():
+                signature = signature_of(elements, self.signature_bits)
+                for index in self.partitioner.assign_s(elements):
+                    if index < resident:
+                        self._resident_s[index].append((signature, tid))
+                    else:
+                        parts_s.append(index, signature, tid)
+            parts_s.seal()
 
-        pool.flush_all()
+            pool.flush_all()
+        except BaseException:
+            self._drop_partitions(parts_r, parts_s)
+            raise
         metrics.replicated_signatures = parts_r.total_entries + parts_s.total_entries
         metrics.resident_signatures = sum(map(len, self._resident_r)) + sum(
             map(len, self._resident_s)

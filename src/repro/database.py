@@ -20,7 +20,8 @@ directly over the stored data.
 from __future__ import annotations
 
 import random
-from typing import Iterable
+from contextlib import contextmanager
+from typing import Iterable, Iterator
 
 from .analysis.timemodel import PAPER_TIME_MODEL, TimeModel
 from .core.metrics import JoinMetrics
@@ -31,8 +32,9 @@ from .core.signatures import DEFAULT_SIGNATURE_BITS
 from .errors import ConfigurationError
 from .storage.buffer import BufferPool
 from .storage.catalog import Catalog
-from .storage.pager import FileDiskManager, InMemoryDiskManager
+from .storage.pager import DiskManager, FileDiskManager, InMemoryDiskManager
 from .storage.relation_store import DEFAULT_PAYLOAD_SIZE, RelationStore
+from .storage.wal import WALDiskManager, WriteAheadLog
 
 __all__ = ["SetJoinDatabase"]
 
@@ -40,7 +42,18 @@ _STATS_SAMPLE = 200
 
 
 class SetJoinDatabase:
-    """Catalog of named, disk-resident set-valued relations."""
+    """Catalog of named, disk-resident set-valued relations.
+
+    With ``durable=True`` (the default) the disk manager is wrapped in a
+    :class:`WALDiskManager`: catalog-changing operations
+    (:meth:`create_relation`, :meth:`drop_relation`, and initial catalog
+    creation) run as write-ahead-logged transactions, so a crash at any
+    point leaves the file openable in either the old or the new state.
+    Opening a database replays or rolls back the sidecar ``<path>.wal``
+    log automatically.  Temporary join-partition data is deliberately
+    *not* logged: it is reconstructible, so crash-in-join costs at most
+    leaked pages, never a corrupt catalog.
+    """
 
     def __init__(
         self,
@@ -49,21 +62,70 @@ class SetJoinDatabase:
         buffer_pages: int = 512,
         buffer_policy: str = "lru",
         model: TimeModel = PAPER_TIME_MODEL,
+        durable: bool = True,
+        disk: DiskManager | None = None,
+        wal: WriteAheadLog | None = None,
     ):
-        if path is None:
-            self.disk = InMemoryDiskManager(page_size)
+        if disk is None:
+            if path is None:
+                disk = InMemoryDiskManager(page_size)
+            else:
+                disk = FileDiskManager(path, page_size)
+        if durable:
+            if wal is None and path is not None:
+                wal = WriteAheadLog(path + ".wal", disk.page_size)
+            # Recovery (replay committed, discard torn) runs here.
+            self.disk: DiskManager = WALDiskManager(disk, wal)
         else:
-            self.disk = FileDiskManager(path, page_size)
+            self.disk = disk
         self.pool = BufferPool(self.disk, capacity=buffer_pages,
                                policy=buffer_policy)
-        self.catalog = Catalog(self.pool)
         self.model = model
         self._closed = False
+        if self.disk.num_pages == 0:
+            with self._atomic():
+                self.catalog = Catalog(self.pool)
+        else:
+            self.catalog = Catalog(self.pool)
 
     @classmethod
     def open(cls, path: str | None = None, **kwargs) -> "SetJoinDatabase":
-        """Open (creating if needed) a database file."""
+        """Open (creating if needed) a database file, recovering any
+        interrupted transaction from its write-ahead log."""
         return cls(path, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _atomic(self) -> Iterator[None]:
+        """Run the enclosed mutations as one crash-atomic transaction.
+
+        Without a WAL disk manager (``durable=False``) this degrades to
+        the historical best-effort behaviour: mutate, then flush.
+        """
+        disk = self.disk
+        if not isinstance(disk, WALDiskManager) or disk.in_transaction:
+            yield
+            self.pool.flush_all()
+            return
+        disk.begin()
+        try:
+            yield
+            self.pool.flush_all()
+            disk.commit()
+        except BaseException:
+            # Cached frames may hold uncommitted images; drop them before
+            # rolling back so nothing dirty can ever be flushed later.
+            self.pool.invalidate()
+            if disk.in_transaction:
+                disk.rollback()
+            if not disk.wedged and disk.num_pages:
+                # B-tree handles cache their root ids; rebuild the catalog
+                # from the durable state.
+                self.catalog = Catalog(self.pool)
+            raise
 
     # ------------------------------------------------------------------
     # Relation management
@@ -83,12 +145,12 @@ class SetJoinDatabase:
         self._check_open()
         if name in self.catalog:
             raise ConfigurationError(f"relation {name!r} already exists")
-        store = RelationStore.create(self.pool, name=name)
         if isinstance(rows, Relation):
             rows = ((row.tid, row.elements) for row in rows)
-        count = store.bulk_load(rows, payload_size)
-        self.catalog.register(name, store.meta_page_id, count)
-        self.pool.flush_all()
+        with self._atomic():
+            store = RelationStore.create(self.pool, name=name)
+            count = store.bulk_load(rows, payload_size)
+            self.catalog.register(name, store.meta_page_id, count)
         return count
 
     def get_store(self, name: str) -> RelationStore:
@@ -117,9 +179,9 @@ class SetJoinDatabase:
         meta_page_id, __ = entry
         from .storage.btree import BTree
 
-        BTree(self.pool, meta_page_id).destroy()
-        self.catalog.unregister(name)
-        self.pool.flush_all()
+        with self._atomic():
+            BTree(self.pool, meta_page_id).destroy()
+            self.catalog.unregister(name)
 
     def relation_names(self) -> list[str]:
         self._check_open()
@@ -207,6 +269,36 @@ class SetJoinDatabase:
         return join.run(cold_cache=False)
 
     # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+
+    def verify_integrity(self) -> dict[str, int]:
+        """Read every catalog-reachable page, verifying page checksums.
+
+        Raises :class:`~repro.errors.CorruptPageError` (or another
+        :class:`~repro.errors.StorageError`) on the first damaged page;
+        returns counters describing what was checked otherwise.
+        """
+        self._check_open()
+        # Cached frames were checksummed when first read; drop them so
+        # every page comes off the disk and through the CRC again.
+        self.pool.flush_all()
+        self.pool.drop_all()
+        before = self.disk.stats.snapshot()
+        relations = 0
+        tuples = 0
+        for name in self.relation_names():
+            relations += 1
+            for __ in self.get_store(name).scan():
+                tuples += 1
+        delta = self.disk.stats.delta(before)
+        return {
+            "relations": relations,
+            "tuples": tuples,
+            "pages_read": delta.page_reads,
+        }
+
+    # ------------------------------------------------------------------
 
     def _check_open(self) -> None:
         if self._closed:
@@ -216,6 +308,18 @@ class SetJoinDatabase:
         if not self._closed:
             self.pool.flush_all()
             self.disk.close()
+            self._closed = True
+
+    def kill(self) -> None:
+        """Abandon the database without flushing: simulates a crash.
+
+        Dirty buffer-pool frames are dropped and file handles are closed
+        without syncing.  Used by the fault-injection harness; production
+        code should call :meth:`close`.
+        """
+        if not self._closed:
+            self.pool.invalidate()
+            self.disk.kill()
             self._closed = True
 
     def __enter__(self) -> "SetJoinDatabase":

@@ -24,6 +24,18 @@ class PageError(StorageError):
     """Malformed page access: bad page id, overflow, or corrupt header."""
 
 
+class CorruptPageError(PageError):
+    """A page failed its checksum: torn write, bit rot, or overwrite.
+
+    Raised by the disk managers on read instead of decoding garbage, so a
+    corrupted base relation can never silently produce wrong join results.
+    """
+
+
+class WALError(StorageError):
+    """Write-ahead-log misuse or an unrecoverable log state."""
+
+
 class BufferPoolError(StorageError):
     """Buffer-pool misuse, e.g. all frames pinned or double unpin."""
 

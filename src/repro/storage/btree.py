@@ -131,7 +131,7 @@ class BTree:
         if not 0.1 <= fill_fraction <= 1.0:
             raise BTreeError(f"fill fraction {fill_fraction} outside [0.1, 1]")
         tree = cls.create(pool)
-        budget = int((pool.disk.page_size - _HEADER_SIZE) * fill_fraction)
+        budget = int((pool.disk.payload_size - _HEADER_SIZE) * fill_fraction)
 
         # Level 0: pack leaves.
         leaves: list[tuple[bytes, int]] = []  # (first key, page id)
@@ -168,7 +168,7 @@ class BTree:
         level = leaves
         while len(level) > 1:
             parent_budget = int(
-                (pool.disk.page_size - _HEADER_SIZE - 8) * fill_fraction
+                (pool.disk.payload_size - _HEADER_SIZE - 8) * fill_fraction
             )
             next_level: list[tuple[bytes, int]] = []
             node = tree._new_node(is_leaf=False)
@@ -244,7 +244,7 @@ class BTree:
 
     @staticmethod
     def _store_node_into(pool: BufferPool, node: _Node) -> None:
-        page_size = pool.disk.page_size
+        capacity = pool.disk.payload_size
         out = bytearray()
         out.append(_LEAF if node.is_leaf else _INTERNAL)
         out += len(node.keys).to_bytes(2, "big")
@@ -263,14 +263,14 @@ class BTree:
                 out += encode_uvarint(len(key))
                 out += key
                 out += child.to_bytes(8, "big")
-        if len(out) > page_size:
+        if len(out) > capacity:
             raise BTreeError(
                 f"node {node.page_id} serializes to {len(out)} bytes "
-                f"> page size {page_size}"
+                f"> page payload capacity {capacity}"
             )
         frame = pool.fetch(node.page_id)
         frame.data[: len(out)] = out
-        frame.data[len(out) :] = bytes(page_size - len(out))
+        frame.data[len(out) :] = bytes(capacity - len(out))
         pool.unpin(node.page_id, dirty=True)
 
     def _store_node(self, node: _Node) -> None:
@@ -413,7 +413,7 @@ class BTree:
     def _check_entry(self, key: bytes, value: bytes) -> None:
         # An entry must leave room for at least two entries per node,
         # otherwise a split cannot reduce node size.
-        limit = (self.pool.disk.page_size - _HEADER_SIZE - 16) // 2
+        limit = (self.pool.disk.payload_size - _HEADER_SIZE - 16) // 2
         entry_size = len(key) + len(value) + 10
         if entry_size > limit:
             raise BTreeError(
@@ -458,7 +458,7 @@ class BTree:
         The first chunk reuses the node's page; every further chunk gets a
         new page and contributes one promoted separator.
         """
-        if node.encoded_size() <= self.pool.disk.page_size:
+        if node.encoded_size() <= self.pool.disk.payload_size:
             self._store_node(node)
             return []
         if node.is_leaf:
@@ -466,7 +466,7 @@ class BTree:
         return self._split_internal(node)
 
     def _split_leaf(self, node: _Node) -> list[tuple[bytes, int]]:
-        budget = self.pool.disk.page_size - _HEADER_SIZE
+        budget = self.pool.disk.payload_size - _HEADER_SIZE
         chunks: list[tuple[list[bytes], list[bytes]]] = []
         keys: list[bytes] = []
         values: list[bytes] = []
@@ -500,7 +500,7 @@ class BTree:
         return promotions
 
     def _split_internal(self, node: _Node) -> list[tuple[bytes, int]]:
-        budget = self.pool.disk.page_size - _HEADER_SIZE - 8
+        budget = self.pool.disk.payload_size - _HEADER_SIZE - 8
         # Chunk the (key, child) pairs; the key at each cut moves up.
         pairs = list(zip(node.keys, node.children[1:]))
         chunks: list[tuple[int, list[tuple[bytes, int]]]] = []

@@ -89,13 +89,13 @@ class BufferPool:
     @property
     def memory_bytes(self) -> int:
         """Approximate memory footprint of cached page data."""
-        return len(self._frames) * self.disk.page_size
+        return len(self._frames) * self.disk.payload_size
 
     def new_page(self) -> Frame:
         """Allocate a page on disk and return its pinned, zeroed frame."""
         page_id = self.disk.allocate_page()
         self._make_room()
-        frame = Frame(page_id, bytes(self.disk.page_size))
+        frame = Frame(page_id, bytes(self.disk.payload_size))
         frame.pin_count = 1
         frame.dirty = True
         self._frames[page_id] = frame
@@ -162,6 +162,16 @@ class BufferPool:
                 raise BufferPoolError(
                     f"cannot drop pool: page {frame.page_id} still pinned"
                 )
+        self._frames.clear()
+        self._clock_hand = 0
+
+    def invalidate(self) -> None:
+        """Empty the cache, discarding dirty data and pins.
+
+        This deliberately loses writes: it is the transaction-rollback
+        path, where every cached frame may hold uncommitted data that
+        must never reach disk.  Callers re-fetch everything afterwards.
+        """
         self._frames.clear()
         self._clock_hand = 0
 

@@ -5,6 +5,13 @@ page id (the first two pages of a fresh store), mapping relation names to
 the meta page ids of their :class:`~repro.storage.relation_store.RelationStore`
 trees.  That makes a whole multi-relation database addressable by just a
 file path: open the file, read the catalog, look up relations by name.
+
+The catalog itself carries no crash-safety machinery: every page it
+touches flows through the buffer pool to the disk manager, so when the
+database wraps its disk in a :class:`~repro.storage.wal.WALDiskManager`,
+catalog registration and removal become atomic for free.  The one
+structural requirement is that :data:`CATALOG_META_PAGE` is a fixed page
+id, so recovery never needs a separate pointer to find the catalog.
 """
 
 from __future__ import annotations

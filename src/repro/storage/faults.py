@@ -1,0 +1,394 @@
+"""First-class fault injection for the storage substrate.
+
+Promoted from an ad-hoc test helper into a subsystem: everything needed
+to prove the reliability layer's claims lives here.
+
+* :class:`FaultInjectingDiskManager` -- a :class:`DiskManager` wrapper
+  operating at the *physical* page level (below checksumming), so an
+  injected torn write or bit flip reaches the stored bytes exactly the
+  way real disk corruption would, and must be caught by the page CRC.
+  Fault modes compose: fail-after-N-I/Os, fail-on-specific-page, torn
+  writes, bit flips, and crash points can all be armed on one manager.
+* :class:`CrashSimulator` -- a kill-and-reopen harness that runs a
+  database operation once per physical I/O index, "crashes" the process
+  at that index, reopens the database (running WAL recovery) and asserts
+  caller-supplied invariants.  Sweeping *every* index is the strongest
+  crash-consistency check short of real power-pull testing.
+
+The wrapper shares the wrapped manager's :class:`IOStats` object, so a
+physical operation is counted exactly once no matter which layer
+performed it (the old test helper double-counted).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from typing import Callable, Iterable
+
+from ..errors import StorageError
+from .pager import DiskManager, FileDiskManager
+
+__all__ = [
+    "InjectedIOError",
+    "SimulatedCrash",
+    "FaultInjectingDiskManager",
+    "CrashSimulator",
+    "flip_bit",
+]
+
+
+class InjectedIOError(StorageError):
+    """A transient or permanent I/O failure raised by fault injection."""
+
+
+class SimulatedCrash(StorageError):
+    """Process death at a chosen physical I/O.
+
+    Unlike :class:`InjectedIOError` (a *survivable* fault the caller may
+    handle), a simulated crash is terminal: once raised, every further
+    I/O on the manager raises it too, like a dead disk under a dead
+    process.  Test harnesses catch it, discard all in-memory state and
+    reopen from the surviving files.
+    """
+
+
+def flip_bit(disk: DiskManager, page_id: int, bit_index: int = 0) -> None:
+    """Flip one bit of a page's stored *physical* image in place.
+
+    Operates below the checksum, so the next logical read of the page
+    must raise :class:`~repro.errors.CorruptPageError` (unless the page
+    was still all-zero and the flip merely made it non-zero garbage,
+    which the CRC also rejects).
+    """
+    raw = bytearray(disk._read_physical(page_id))
+    raw[bit_index // 8] ^= 1 << (bit_index % 8)
+    disk._write_physical(page_id, bytes(raw))
+
+
+class FaultInjectingDiskManager(DiskManager):
+    """Wraps a disk manager, injecting faults at the physical page level.
+
+    The wrapper *is* the disk manager its users see -- it owns the free
+    list and checksumming (inherited from :class:`DiskManager`) and uses
+    the wrapped manager purely as a physical page array.  All armed
+    fault modes consult one monotonically increasing physical I/O index
+    (reads, writes and growth each count one I/O), so a crash point
+    identified in one run can be replayed exactly in the next.
+
+    Typical arming::
+
+        disk = FaultInjectingDiskManager(FileDiskManager(path))
+        disk.fail_after(40)          # 40 I/Os succeed, then InjectedIOError
+        disk.fail_on_page(7, "read") # reads of page 7 fail
+        disk.crash_at(13)            # SimulatedCrash before the 13th I/O
+        disk.torn_write_at(13)       # half the page hits disk, then crash
+        disk.flip_bit(3, bit_index=100)  # immediate silent corruption
+    """
+
+    def __init__(self, inner: DiskManager):
+        super().__init__(inner.page_size)
+        self.inner = inner
+        self.stats = inner.stats  # shared: each physical op counted once
+        self.io_index = 0
+        self.failing = False
+        self.trace: list[tuple[str, int | None]] = []
+        self.record_trace = False
+        self._budget: int | None = None
+        self._budget_ops: tuple[str, ...] = ()
+        self._page_faults: dict[int, str] = {}
+        self._crash_at: int | None = None
+        self._torn_at: int | None = None
+        self._torn_keep: int | None = None
+
+    # ------------------------------------------------------------------
+    # Arming and disarming faults
+    # ------------------------------------------------------------------
+
+    def fail_after(
+        self, budget: int, ops: Iterable[str] = ("read", "write", "grow")
+    ) -> "FaultInjectingDiskManager":
+        """Let ``budget`` more matching I/Os succeed, then fail all I/O
+        until :meth:`heal`."""
+        self._budget = budget
+        self._budget_ops = tuple(ops)
+        return self
+
+    def fail_on_page(
+        self, page_id: int, op: str = "any"
+    ) -> "FaultInjectingDiskManager":
+        """Fail every ``op`` ("read", "write" or "any") touching a page."""
+        self._page_faults[page_id] = op
+        return self
+
+    def crash_at(self, io_index: int) -> "FaultInjectingDiskManager":
+        """Simulate process death just before physical I/O ``io_index``."""
+        self._crash_at = io_index
+        return self
+
+    def torn_write_at(
+        self, io_index: int, keep_bytes: int | None = None
+    ) -> "FaultInjectingDiskManager":
+        """At write index ``io_index``, persist only the first
+        ``keep_bytes`` (default: half the page) and then crash -- the
+        classic torn page."""
+        self._torn_at = io_index
+        self._torn_keep = keep_bytes
+        return self
+
+    def flip_bit(self, page_id: int, bit_index: int = 0) -> None:
+        """Silently corrupt one stored bit right now (no I/O counted --
+        this is the injector acting as cosmic ray, not the system)."""
+        flip_bit(self.inner, page_id, bit_index)
+
+    def heal(self) -> None:
+        """Clear sticky failure state and disarm budget/page faults."""
+        self.failing = False
+        self._budget = None
+        self._page_faults.clear()
+
+    # ------------------------------------------------------------------
+    # The shared fault clock
+    # ------------------------------------------------------------------
+
+    def _tick(self, op: str, page_id: int | None) -> None:
+        index = self.io_index
+        self.io_index += 1
+        if self.record_trace:
+            self.trace.append((op, page_id))
+        if self._crash_at is not None and index >= self._crash_at:
+            raise SimulatedCrash(
+                f"simulated crash at physical I/O {index} ({op}"
+                + (f" page {page_id}" if page_id is not None else "")
+                + ")"
+            )
+        if self.failing:
+            raise InjectedIOError("injected disk failure (disk is down)")
+        if self._budget is not None and op in self._budget_ops:
+            if self._budget <= 0:
+                self.failing = True
+                raise InjectedIOError("injected disk failure (budget exhausted)")
+            self._budget -= 1
+        if page_id is not None:
+            mode = self._page_faults.get(page_id)
+            if mode is not None and mode in ("any", op):
+                raise InjectedIOError(
+                    f"injected disk failure ({op} of page {page_id})"
+                )
+
+    def external_io(self, label: str = "external") -> None:
+        """Advance the fault clock for I/O performed outside this manager
+        (the write-ahead log passes this as its ``io_hook``)."""
+        self._tick(label, None)
+
+    # ------------------------------------------------------------------
+    # Physical layer: delegate to the wrapped manager, faults first
+    # ------------------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        return self.inner.num_pages
+
+    def _read_physical(self, page_id: int) -> bytes:
+        self._tick("read", page_id)
+        return self.inner._read_physical(page_id)
+
+    def _write_physical(self, page_id: int, raw: bytes) -> None:
+        self._tick("write", page_id)
+        if self._torn_at is not None and self.io_index - 1 >= self._torn_at:
+            keep = self._torn_keep
+            if keep is None:
+                keep = self.page_size // 2
+            old = self.inner._read_physical(page_id)
+            self.inner._write_physical(page_id, raw[:keep] + old[keep:])
+            self._crash_at = self.io_index  # the process dies with the tear
+            raise SimulatedCrash(
+                f"torn write of page {page_id}: only {keep} of "
+                f"{self.page_size} bytes persisted"
+            )
+        self.inner._write_physical(page_id, raw)
+
+    def _grow_physical(self) -> int:
+        self._tick("grow", None)
+        # Grow through the inner *physical* layer so its allocation
+        # counter is not bumped twice (the logical wrapper already counts
+        # via the shared stats object).
+        return self.inner._grow_physical()
+
+    def flush(self) -> None:
+        self.inner.flush()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def kill(self) -> None:
+        self.inner.kill()
+
+
+class CrashSimulator:
+    """Kill-and-reopen harness for file-backed :class:`SetJoinDatabase`.
+
+    :meth:`sweep` runs an operation once per physical I/O index k,
+    crashing the "process" just before I/O k, then reopens the database
+    (which runs WAL recovery) and hands it to a caller-supplied invariant
+    check.  The database and WAL files are restored from a pristine seed
+    before every iteration, so each crash point is tested independently.
+
+    Crashes are injected into *all* physical I/O -- database page reads,
+    writes, growth, WAL appends and WAL truncation -- including the I/O
+    performed by recovery itself, so recovery is also proven restartable.
+
+    ::
+
+        sim = CrashSimulator(tmp_path)
+        def prepare(db): db.create_relation("base", rows)
+        def operation(db): db.create_relation("fresh", more_rows)
+        def check(db, crashed):
+            assert set(db.relation_names()) <= {"base", "fresh"}
+        points = sim.sweep(prepare, operation, check)
+    """
+
+    def __init__(
+        self,
+        workdir: str | os.PathLike,
+        page_size: int = 512,
+        buffer_pages: int = 16,
+    ):
+        self.workdir = str(workdir)
+        self.page_size = page_size
+        self.buffer_pages = buffer_pages
+        self._seed_dir = os.path.join(self.workdir, "crashsim-seed")
+        self._live_dir = os.path.join(self.workdir, "crashsim-live")
+        self._db_name = "crash.db"
+
+    # ------------------------------------------------------------------
+
+    def _db_path(self, directory: str) -> str:
+        return os.path.join(directory, self._db_name)
+
+    def _open_injected(self, crash_at: int | None):
+        """Open the live database with a fault layer below WAL/checksums."""
+        from ..database import SetJoinDatabase
+        from .wal import WriteAheadLog
+
+        path = self._db_path(self._live_dir)
+        base = FileDiskManager(
+            path, self.page_size, fsync=False, buffering=0
+        )
+        fault = FaultInjectingDiskManager(base)
+        if crash_at is not None:
+            fault.crash_at(crash_at)
+        wal = WriteAheadLog(
+            path + ".wal", self.page_size, fsync=False,
+            io_hook=fault.external_io,
+        )
+        try:
+            db = SetJoinDatabase(
+                path=path,
+                page_size=self.page_size,
+                buffer_pages=self.buffer_pages,
+                disk=fault,
+                wal=wal,
+            )
+        except BaseException:
+            base.kill()
+            wal.kill()
+            raise
+        return db, fault
+
+    def _open_clean(self, directory: str):
+        from ..database import SetJoinDatabase
+
+        return SetJoinDatabase.open(
+            self._db_path(directory),
+            page_size=self.page_size,
+            buffer_pages=self.buffer_pages,
+        )
+
+    def _reset_live_from_seed(self) -> None:
+        shutil.rmtree(self._live_dir, ignore_errors=True)
+        shutil.copytree(self._seed_dir, self._live_dir)
+
+    # ------------------------------------------------------------------
+
+    def sweep(
+        self,
+        prepare: Callable | None,
+        operation: Callable,
+        check: Callable,
+        max_points: int | None = None,
+    ) -> int:
+        """Crash ``operation`` at every physical I/O index and verify.
+
+        ``prepare(db)`` seeds the database once, fault-free.
+        ``operation(db)`` is the workload under test.
+        ``check(db, crashed)`` receives the reopened database after each
+        crash (``crashed=True``) and once after the uninterrupted run
+        (``crashed=False``); it should assert recovery invariants.
+
+        Returns the number of crash points exercised.  ``max_points``
+        caps the sweep by striding evenly across the I/O range (the
+        endpoints are always included).
+        """
+        os.makedirs(self.workdir, exist_ok=True)
+        shutil.rmtree(self._seed_dir, ignore_errors=True)
+        os.makedirs(self._seed_dir)
+        seed_db = self._open_clean(self._seed_dir)
+        try:
+            if prepare is not None:
+                prepare(seed_db)
+        finally:
+            seed_db.close()
+
+        # Dry run: learn the operation's total physical I/O count.
+        self._reset_live_from_seed()
+        db, fault = self._open_injected(crash_at=None)
+        try:
+            operation(db)
+        finally:
+            db.close()
+        total = fault.io_index
+
+        indices = list(range(total))
+        if max_points is not None and len(indices) > max_points:
+            stride = max(1, len(indices) // max_points)
+            indices = indices[::stride]
+            if indices[-1] != total - 1:
+                indices.append(total - 1)
+
+        exercised = 0
+        for crash_index in indices:
+            self._reset_live_from_seed()
+            crashed = False
+            db = None
+            try:
+                db, fault = self._open_injected(crash_at=crash_index)
+                operation(db)
+            except SimulatedCrash:
+                crashed = True
+            finally:
+                if db is not None:
+                    if crashed:
+                        db.kill()
+                    else:
+                        db.close()
+            exercised += 1
+            recovered = self._open_clean(self._live_dir)
+            try:
+                check(recovered, crashed)
+            finally:
+                recovered.close()
+
+        # Uninterrupted control run through the same machinery.
+        self._reset_live_from_seed()
+        db, __ = self._open_injected(crash_at=None)
+        try:
+            operation(db)
+        finally:
+            db.close()
+        final = self._open_clean(self._live_dir)
+        try:
+            check(final, False)
+        finally:
+            final.close()
+        return exercised

@@ -1,4 +1,4 @@
-"""Page-level disk management with physical I/O accounting.
+"""Page-level disk management with checksums and physical I/O accounting.
 
 The storage substrate is organized as an array of fixed-size pages, the
 unit of transfer between "disk" and the buffer pool.  Two disk managers
@@ -10,24 +10,87 @@ are provided:
 
 Both count every physical page read and write, which is how the testbed
 measures the I/O overhead that the paper's replication factor models.
+
+Every page carries a small header so corruption is detected instead of
+decoded as garbage::
+
+    bytes 0..3    CRC32 (big-endian u32) over bytes 4..page_size
+    bytes 4..11   page LSN (big-endian u64; 0 when not WAL-managed)
+    bytes 12..15  reserved, must be zero
+    bytes 16..    caller payload (``payload_size`` bytes)
+
+``read_page`` verifies the checksum and raises
+:class:`~repro.errors.CorruptPageError` on mismatch, which catches torn
+writes and bit rot.  A page whose *physical* image is all zeroes is valid
+and decodes to a zero payload (a freshly grown, never-written page).
+
+Callers therefore see ``payload_size = page_size - PAGE_HEADER_SIZE``
+usable bytes per page; ``page_size`` is the physical on-disk unit and the
+file layout remains a plain concatenation of physical pages.
+
+The split between the *logical* interface (``read_page``/``write_page``,
+checksummed payloads) and the *physical* one (``_read_physical`` /
+``_write_physical``, raw header-carrying bytes) is what lets
+:mod:`repro.storage.faults` inject torn writes and bit flips below the
+checksum, exactly where real disk corruption happens.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+import zlib
+from dataclasses import dataclass
 
-from ..errors import PageError
+from ..errors import CorruptPageError, PageError
 
 DEFAULT_PAGE_SIZE = 4096
 
+#: Bytes reserved at the start of every physical page (CRC + LSN + pad).
+PAGE_HEADER_SIZE = 16
+
+_MIN_PAGE_SIZE = 64
+
 __all__ = [
     "DEFAULT_PAGE_SIZE",
+    "PAGE_HEADER_SIZE",
     "IOStats",
     "DiskManager",
     "FileDiskManager",
     "InMemoryDiskManager",
+    "encode_page",
+    "decode_page",
 ]
+
+
+def encode_page(payload: bytes, page_size: int, lsn: int = 0) -> bytes:
+    """Build the physical image of a page: checksummed header + payload."""
+    if len(payload) != page_size - PAGE_HEADER_SIZE:
+        raise PageError(
+            f"payload of {len(payload)} bytes, expected "
+            f"{page_size - PAGE_HEADER_SIZE}"
+        )
+    body = lsn.to_bytes(8, "big") + bytes(4) + payload
+    return zlib.crc32(body).to_bytes(4, "big") + body
+
+
+def decode_page(raw: bytes, page_id: int = -1) -> tuple[bytes, int]:
+    """Verify and strip a physical page image; returns ``(payload, lsn)``.
+
+    An all-zero image is a valid never-written page.  Anything else must
+    carry a correct CRC or :class:`CorruptPageError` is raised.
+    """
+    if raw == bytes(len(raw)):
+        return bytes(len(raw) - PAGE_HEADER_SIZE), 0
+    stored = int.from_bytes(raw[:4], "big")
+    actual = zlib.crc32(raw[4:])
+    if stored != actual:
+        raise CorruptPageError(
+            f"page {page_id} checksum mismatch "
+            f"(stored {stored:#010x}, computed {actual:#010x}); "
+            "torn write or bit rot"
+        )
+    lsn = int.from_bytes(raw[4:12], "big")
+    return raw[PAGE_HEADER_SIZE:], lsn
 
 
 @dataclass
@@ -54,6 +117,10 @@ class IOStats:
 class DiskManager:
     """Abstract page store: allocate, read and write fixed-size pages.
 
+    Subclasses implement the physical layer (:meth:`_read_physical`,
+    :meth:`_write_physical`, :meth:`_grow_physical`); this base class owns
+    checksumming, the free list and the I/O counters.
+
     Freed pages go onto a free list and are reused by later allocations,
     so temporary structures (the join's partition B-trees) do not grow the
     store permanently.  The free list lives in memory: frees are reused
@@ -62,11 +129,18 @@ class DiskManager:
     """
 
     def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
-        if page_size < 64:
+        if page_size < _MIN_PAGE_SIZE:
             raise PageError(f"page size {page_size} too small")
         self.page_size = page_size
         self.stats = IOStats()
         self._free_pages: list[int] = []
+        # Mirrors _free_pages for O(1) double-free detection.
+        self._free_lookup: set[int] = set()
+
+    @property
+    def payload_size(self) -> int:
+        """Usable bytes per page (page size minus the checksum header)."""
+        return self.page_size - PAGE_HEADER_SIZE
 
     @property
     def num_pages(self) -> int:
@@ -85,34 +159,83 @@ class DiskManager:
         """Allocate a zeroed page, reusing a freed page when available."""
         if self._free_pages:
             page_id = self._free_pages.pop()
-            self.write_page(page_id, bytes(self.page_size))
+            self._free_lookup.discard(page_id)
+            self.write_page(page_id, bytes(self.payload_size))
             return page_id
         return self._grow()
 
     def free_page(self, page_id: int) -> None:
         """Return a page to the free list for reuse."""
         self._check_page_id(page_id)
-        if page_id in self._free_set():
+        if page_id in self._free_lookup:
             raise PageError(f"double free of page {page_id}")
         self._free_pages.append(page_id)
-
-    def _free_set(self) -> set[int]:
-        return set(self._free_pages)
+        self._free_lookup.add(page_id)
 
     def _grow(self) -> int:
         """Extend the store by one zeroed page; returns its id."""
-        raise NotImplementedError
+        page_id = self._grow_physical()
+        self.stats.pages_allocated += 1
+        return page_id
 
     def read_page(self, page_id: int) -> bytes:
-        """Read one page; always exactly ``page_size`` bytes."""
+        """Read one page's payload; always exactly ``payload_size`` bytes.
+
+        Raises :class:`CorruptPageError` if the stored image fails its
+        checksum.
+        """
+        self._check_page_id(page_id)
+        raw = self._read_physical(page_id)
+        self.stats.page_reads += 1
+        payload, __ = decode_page(raw, page_id)
+        return payload
+
+    def write_page(self, page_id: int, data: bytes, lsn: int = 0) -> None:
+        """Write one full page payload (checksummed on the way down)."""
+        self._check_page_id(page_id)
+        self._check_data(data)
+        self._write_physical(page_id, encode_page(bytes(data), self.page_size, lsn))
+        self.stats.page_writes += 1
+
+    def page_lsn(self, page_id: int) -> int:
+        """The LSN stamped on a page's header (0 for non-WAL writes).
+
+        Reads outside the I/O counters: this is recovery bookkeeping, not
+        workload traffic.
+        """
+        self._check_page_id(page_id)
+        __, lsn = decode_page(self._read_physical(page_id), page_id)
+        return lsn
+
+    # -- physical layer, implemented by subclasses ----------------------
+
+    def _read_physical(self, page_id: int) -> bytes:
+        """Read one raw physical page (header + payload)."""
         raise NotImplementedError
 
-    def write_page(self, page_id: int, data: bytes) -> None:
-        """Write one full page."""
+    def _write_physical(self, page_id: int, raw: bytes) -> None:
+        """Write one raw physical page (header + payload)."""
         raise NotImplementedError
+
+    def _grow_physical(self) -> int:
+        """Extend the store by one all-zero physical page; returns its id."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Force buffered writes down to durable storage (no-op default)."""
 
     def close(self) -> None:
         """Release underlying resources."""
+
+    def kill(self) -> None:
+        """Drop resources *without* flushing: simulates process death.
+
+        Used by the crash-simulation harness; identical to :meth:`close`
+        for managers that buffer nothing.
+        """
+        self.close()
 
     def _check_page_id(self, page_id: int) -> None:
         if not 0 <= page_id < self.num_pages:
@@ -121,9 +244,9 @@ class DiskManager:
             )
 
     def _check_data(self, data: bytes) -> None:
-        if len(data) != self.page_size:
+        if len(data) != self.payload_size:
             raise PageError(
-                f"page write of {len(data)} bytes, expected {self.page_size}"
+                f"page write of {len(data)} bytes, expected {self.payload_size}"
             )
 
     def __enter__(self):
@@ -137,7 +260,7 @@ class InMemoryDiskManager(DiskManager):
     """Disk manager keeping all pages in memory.
 
     Behaviourally identical to :class:`FileDiskManager` (including the I/O
-    counters), just without touching the filesystem.
+    counters and checksums), just without touching the filesystem.
     """
 
     def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
@@ -148,35 +271,43 @@ class InMemoryDiskManager(DiskManager):
     def num_pages(self) -> int:
         return len(self._pages)
 
-    def _grow(self) -> int:
+    def _grow_physical(self) -> int:
         self._pages.append(bytes(self.page_size))
-        self.stats.pages_allocated += 1
         return len(self._pages) - 1
 
-    def read_page(self, page_id: int) -> bytes:
-        self._check_page_id(page_id)
-        self.stats.page_reads += 1
+    def _read_physical(self, page_id: int) -> bytes:
         return self._pages[page_id]
 
-    def write_page(self, page_id: int, data: bytes) -> None:
-        self._check_page_id(page_id)
-        self._check_data(data)
-        self.stats.page_writes += 1
-        self._pages[page_id] = bytes(data)
+    def _write_physical(self, page_id: int, raw: bytes) -> None:
+        self._pages[page_id] = bytes(raw)
 
 
 class FileDiskManager(DiskManager):
-    """Disk manager backed by a single file of concatenated pages."""
+    """Disk manager backed by a single file of concatenated pages.
 
-    def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE):
+    ``fsync=True`` (the default) makes :meth:`flush` and :meth:`close`
+    call :func:`os.fsync`, so "durably written" means the data survives
+    an OS crash, not just a process exit.  ``buffering=0`` opens the file
+    unbuffered, which the crash simulator uses so every physical write is
+    immediately visible to a reopening reader.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        fsync: bool = True,
+        buffering: int = -1,
+    ):
         super().__init__(page_size)
         self.path = path
+        self.fsync = fsync
         # "r+b" honours seeks for writes ("a+b" would force appends);
         # fall back to "w+b" to create a missing file.
         try:
-            self._file = open(path, "r+b")
+            self._file = open(path, "r+b", buffering=buffering)
         except FileNotFoundError:
-            self._file = open(path, "w+b")
+            self._file = open(path, "w+b", buffering=buffering)
         self._file.seek(0, os.SEEK_END)
         size = self._file.tell()
         if size % page_size:
@@ -191,36 +322,38 @@ class FileDiskManager(DiskManager):
     def num_pages(self) -> int:
         return self._num_pages
 
-    def _grow(self) -> int:
+    def _grow_physical(self) -> int:
         page_id = self._num_pages
         self._file.seek(page_id * self.page_size)
         self._file.write(bytes(self.page_size))
         self._num_pages += 1
-        self.stats.pages_allocated += 1
         return page_id
 
-    def read_page(self, page_id: int) -> bytes:
-        self._check_page_id(page_id)
+    def _read_physical(self, page_id: int) -> bytes:
         self._file.seek(page_id * self.page_size)
-        data = self._file.read(self.page_size)
-        if len(data) != self.page_size:
+        raw = self._file.read(self.page_size)
+        if len(raw) != self.page_size:
             raise PageError(f"short read of page {page_id}")
-        self.stats.page_reads += 1
-        return data
+        return raw
 
-    def write_page(self, page_id: int, data: bytes) -> None:
-        self._check_page_id(page_id)
-        self._check_data(data)
+    def _write_physical(self, page_id: int, raw: bytes) -> None:
         self._file.seek(page_id * self.page_size)
-        self._file.write(data)
-        self.stats.page_writes += 1
+        self._file.write(raw)
 
     def flush(self) -> None:
-        """Force buffered writes to the operating system."""
+        """Force buffered writes to the operating system (and, with
+        ``fsync``, to the device)."""
         self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
 
     def close(self) -> None:
         if not self._closed:
-            self._file.flush()
+            self.flush()
+            self._file.close()
+            self._closed = True
+
+    def kill(self) -> None:
+        if not self._closed:
             self._file.close()
             self._closed = True

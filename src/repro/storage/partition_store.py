@@ -72,11 +72,12 @@ class PartitionStore:
         self._portion_counts = [0] * num_partitions
         self._entry_counts = [0] * num_partitions
         self._sealed = False
+        self._dropped = False
 
     @staticmethod
     def _max_value_bytes(pool: BufferPool) -> int:
         # Must satisfy the B-tree's two-entries-per-node constraint.
-        return (pool.disk.page_size - 27) // 2 - 32
+        return (pool.disk.payload_size - 27) // 2 - 32
 
     # ------------------------------------------------------------------
     # Write phase
@@ -130,10 +131,19 @@ class PartitionStore:
                 self._flush_portion(partition)
         self._sealed = True
 
+    @property
+    def dropped(self) -> bool:
+        """Whether the store's pages have already been reclaimed."""
+        return self._dropped
+
     def drop(self) -> int:
         """Free the store's pages (partitions are temporary); returns the
-        number of pages reclaimed.  The store must not be used afterwards."""
+        number of pages reclaimed.  Idempotent; the store must not be
+        written or scanned afterwards."""
+        if self._dropped:
+            return 0
         self._sealed = True
+        self._dropped = True
         return self._tree.destroy()
 
     # ------------------------------------------------------------------

@@ -70,7 +70,7 @@ class RelationStore:
         store.name = name
         store._pool = pool
         payload = bytes(payload_size)
-        chunk_size = (pool.disk.page_size - 27) // 2 - 64
+        chunk_size = (pool.disk.payload_size - 27) // 2 - 64
         count = 0
 
         def entries():
@@ -94,7 +94,7 @@ class RelationStore:
 
     def _chunk_size(self) -> int:
         # Stay safely inside the B-tree's per-entry limit (key is 12 bytes).
-        return (self._pool.disk.page_size - 27) // 2 - 64
+        return (self._pool.disk.payload_size - 27) // 2 - 64
 
     def insert(self, tid: int, elements: Iterable[int], payload: bytes = b"") -> None:
         """Insert one tuple (overwrites an existing tid)."""

@@ -81,6 +81,14 @@ def encode_set(elements: frozenset[int] | set[int] | list[int]) -> bytes:
 def decode_set(data: bytes, offset: int = 0) -> tuple[frozenset[int], int]:
     """Decode a set encoded by :func:`encode_set`; returns ``(set, next_offset)``."""
     count, pos = decode_uvarint(data, offset)
+    if count > len(data) - pos:
+        # Each element costs at least one byte, so a count beyond the
+        # remaining bytes is corrupt input, not just a large set; bail
+        # out before looping billions of times on garbage.
+        raise SerializationError(
+            f"set claims {count} elements but only {len(data) - pos} "
+            f"bytes remain"
+        )
     elements = []
     current = 0
     for _ in range(count):

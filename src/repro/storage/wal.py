@@ -1,0 +1,448 @@
+"""Physical-page write-ahead logging and crash recovery.
+
+The paper's testbed inherited recovery from Berkeley DB; this module
+provides the equivalent for the from-scratch substrate.  Two pieces:
+
+* :class:`WriteAheadLog` -- an append-only log of page after-images plus
+  commit records, each individually checksummed, with fsync barriers at
+  the commit point.
+* :class:`WALDiskManager` -- a transactional :class:`DiskManager` that
+  buffers every page write made inside a transaction, logs the final
+  image of each dirty page to the WAL at commit, and only then applies
+  the images to the underlying database file (the checkpoint).
+
+Protocol (standard redo-only WAL with no-steal buffering):
+
+1. ``begin()`` opens a transaction.  Until commit, ``write_page`` and
+   page allocation are buffered in memory; the database file is never
+   touched, so an uncommitted transaction leaves no trace on disk.
+2. ``commit()`` appends one FRAME record per dirty page, then a COMMIT
+   record, then fsyncs the log -- the commit point.  It then applies the
+   images to the database file, fsyncs it, and truncates the log (the
+   checkpoint).  Replaying full page images is idempotent, so a crash
+   anywhere inside the checkpoint is repaired by replaying the log.
+3. ``rollback()`` (or any exception path) discards the buffered images;
+   nothing was written, so nothing needs undoing.
+
+Recovery on open scans the log: frames of a transaction whose COMMIT
+record made it to disk are replayed into the database file (redo);
+anything after the last durable COMMIT -- including torn, truncated or
+bit-flipped records, detected by the per-record CRC -- is discarded
+(rollback) and the log is reset.  A database file is therefore always
+openable in either the pre- or post-transaction state, never in between.
+
+Log file layout::
+
+    header:  magic "SJWAL1\\x00\\n" | page_size u32 | crc u32
+    FRAME:   0x01 | page_id u64 | lsn u64 | len u32 | payload | crc u32
+    COMMIT:  0x02 | lsn u64 | crc u32
+
+Every record CRC covers all preceding bytes of the record.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Callable
+
+from ..errors import WALError
+from .pager import DiskManager
+
+__all__ = ["WriteAheadLog", "WALDiskManager", "WAL_MAGIC"]
+
+WAL_MAGIC = b"SJWAL1\x00\n"
+
+_REC_FRAME = 0x01
+_REC_COMMIT = 0x02
+
+_HEADER = struct.Struct(">8sI")  # magic, page_size (+ trailing crc u32)
+_FRAME_HEAD = struct.Struct(">BQQI")  # type, page_id, lsn, payload length
+_COMMIT_HEAD = struct.Struct(">BQ")  # type, lsn
+
+
+def _with_crc(body: bytes) -> bytes:
+    return body + zlib.crc32(body).to_bytes(4, "big")
+
+
+class WriteAheadLog:
+    """Append-only, checksummed log of page images and commit records.
+
+    ``path=None`` keeps the log in memory: transactions still get
+    atomicity against exceptions, but nothing survives the process (used
+    for in-memory databases, where durability is meaningless anyway).
+
+    ``io_hook`` is called with a label before every physical log write;
+    the crash simulator uses it to count (and interrupt) WAL I/O with the
+    same clock as database-page I/O.
+    """
+
+    def __init__(
+        self,
+        path: str | None,
+        page_size: int,
+        fsync: bool = True,
+        io_hook: Callable[[str], None] | None = None,
+    ):
+        self.path = path
+        self.page_size = page_size
+        self.fsync = fsync
+        self._io_hook = io_hook
+        self._next_lsn = 1
+        self._closed = False
+        self._memory_log: list[bytes] | None = None
+        self._file = None
+        if path is None:
+            self._memory_log = []
+            return
+        try:
+            self._file = open(path, "r+b")
+        except FileNotFoundError:
+            self._file = open(path, "w+b")
+        self._file.seek(0, os.SEEK_END)
+        if self._file.tell() == 0:
+            self._tick("wal-header")
+            self._file.write(_with_crc(_HEADER.pack(WAL_MAGIC, page_size)))
+            self._sync()
+
+    # ------------------------------------------------------------------
+
+    def _tick(self, label: str) -> None:
+        if self._io_hook is not None:
+            self._io_hook(label)
+
+    def _sync(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+            if self.fsync:
+                os.fsync(self._file.fileno())
+
+    @property
+    def size_bytes(self) -> int:
+        """Current log length (0 for a reset or in-memory log)."""
+        if self._file is None:
+            return sum(len(record) for record in (self._memory_log or []))
+        self._file.seek(0, os.SEEK_END)
+        return max(0, self._file.tell() - _HEADER.size - 4)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def log_transaction(self, frames: dict[int, bytes]) -> dict[int, int]:
+        """Append all ``{page_id: payload}`` frames plus a COMMIT, then
+        fsync (the commit point).  Returns the LSN stamped on each page.
+        """
+        if self._closed:
+            raise WALError("write-ahead log is closed")
+        lsns: dict[int, int] = {}
+        for page_id in sorted(frames):
+            payload = frames[page_id]
+            lsn = self._next_lsn
+            self._next_lsn += 1
+            lsns[page_id] = lsn
+            record = _with_crc(
+                _FRAME_HEAD.pack(_REC_FRAME, page_id, lsn, len(payload)) + payload
+            )
+            self._append(record, f"wal-frame:{page_id}")
+        commit_lsn = self._next_lsn
+        self._next_lsn += 1
+        self._append(_with_crc(_COMMIT_HEAD.pack(_REC_COMMIT, commit_lsn)),
+                     "wal-commit")
+        self._sync()
+        return lsns
+
+    def _append(self, record: bytes, label: str) -> None:
+        self._tick(label)
+        if self._file is None:
+            assert self._memory_log is not None
+            self._memory_log.append(record)
+        else:
+            self._file.seek(0, os.SEEK_END)
+            self._file.write(record)
+
+    def reset(self) -> None:
+        """Discard all records (called after a successful checkpoint)."""
+        if self._closed:
+            raise WALError("write-ahead log is closed")
+        if self._file is None:
+            assert self._memory_log is not None
+            self._memory_log.clear()
+            return
+        self._tick("wal-reset")
+        self._file.truncate(_HEADER.size + 4)
+        self._sync()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def recover(self) -> dict[int, tuple[bytes, int]]:
+        """Scan the log; return ``{page_id: (payload, lsn)}`` for every
+        page image belonging to a *committed* transaction.
+
+        The scan stops at the first truncated or corrupt record; frames
+        not followed by a durable COMMIT are discarded.  ``next_lsn`` is
+        advanced past everything seen so stamped LSNs stay monotonic.
+        """
+        if self._file is None:
+            return {}
+        self._file.seek(0, os.SEEK_END)
+        end = self._file.tell()
+        if end == 0:
+            return {}
+        self._file.seek(0)
+        header = self._file.read(_HEADER.size + 4)
+        if len(header) < _HEADER.size + 4:
+            return {}
+        magic, page_size = _HEADER.unpack(header[: _HEADER.size])
+        if magic != WAL_MAGIC:
+            raise WALError(f"bad WAL magic in {self.path!r}")
+        if zlib.crc32(header[:-4]) != int.from_bytes(header[-4:], "big"):
+            raise WALError(f"corrupt WAL header in {self.path!r}")
+        if page_size != self.page_size:
+            raise WALError(
+                f"WAL page size {page_size} does not match database "
+                f"page size {self.page_size}"
+            )
+        data = self._file.read()
+        committed: dict[int, tuple[bytes, int]] = {}
+        pending: dict[int, tuple[bytes, int]] = {}
+        pos = 0
+        while pos < len(data):
+            kind = data[pos]
+            if kind == _REC_FRAME:
+                head_end = pos + _FRAME_HEAD.size
+                if head_end > len(data):
+                    break
+                __, page_id, lsn, length = _FRAME_HEAD.unpack(
+                    data[pos:head_end]
+                )
+                record_end = head_end + length + 4
+                if length > len(data) - head_end or record_end > len(data):
+                    break
+                if zlib.crc32(data[pos : record_end - 4]) != int.from_bytes(
+                    data[record_end - 4 : record_end], "big"
+                ):
+                    break
+                pending[page_id] = (data[head_end : record_end - 4], lsn)
+                self._next_lsn = max(self._next_lsn, lsn + 1)
+                pos = record_end
+            elif kind == _REC_COMMIT:
+                record_end = pos + _COMMIT_HEAD.size + 4
+                if record_end > len(data):
+                    break
+                if zlib.crc32(data[pos : record_end - 4]) != int.from_bytes(
+                    data[record_end - 4 : record_end], "big"
+                ):
+                    break
+                __, lsn = _COMMIT_HEAD.unpack(data[pos : record_end - 4])
+                committed.update(pending)
+                pending.clear()
+                self._next_lsn = max(self._next_lsn, lsn + 1)
+                pos = record_end
+            else:
+                break  # garbage type byte: torn tail
+        return committed
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed and self._file is not None:
+            self._sync()
+            self._file.close()
+        self._closed = True
+
+    def kill(self) -> None:
+        """Close without flushing: simulates process death mid-write."""
+        if not self._closed and self._file is not None:
+            self._file.close()
+        self._closed = True
+
+
+class WALDiskManager(DiskManager):
+    """Transactional disk manager layered over a plain one.
+
+    Outside a transaction it is a transparent pass-through (temporary
+    join-partition data keeps its write-through I/O profile).  Inside a
+    transaction, writes and allocations are buffered and only reach the
+    underlying store through the WAL commit protocol, so every
+    transaction is all-or-nothing across crashes.
+
+    The I/O counters are shared with the wrapped manager -- one physical
+    operation is counted exactly once, whichever layer performs it.
+    """
+
+    def __init__(self, inner: DiskManager, wal: WriteAheadLog | None = None):
+        super().__init__(inner.page_size)
+        self.inner = inner
+        self.wal = wal
+        self.stats = inner.stats
+        self._txn: dict[int, bytes] | None = None
+        self._num_pages_local = inner.num_pages
+        self._committed_num_pages = inner.num_pages
+        self._free_snapshot: tuple[list[int], set[int]] | None = None
+        self._wedged = False
+        if wal is not None:
+            self._recover()
+
+    # ------------------------------------------------------------------
+    # Recovery (runs on open)
+    # ------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        assert self.wal is not None
+        committed = self.wal.recover()
+        if committed:
+            for page_id in sorted(committed):
+                payload, lsn = committed[page_id]
+                self._extend_inner_to(page_id)
+                self.inner.write_page(page_id, payload, lsn)
+            self.inner.flush()
+        if self.wal.size_bytes:
+            self.wal.reset()
+        self._num_pages_local = self.inner.num_pages
+        self._committed_num_pages = self.inner.num_pages
+
+    def _extend_inner_to(self, page_id: int) -> None:
+        while self.inner.num_pages <= page_id:
+            self.inner._grow()
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None
+
+    @property
+    def wedged(self) -> bool:
+        """True after a post-commit-point failure: the WAL holds a committed
+        transaction the database file may only partially reflect.  The
+        in-process manager refuses further work; reopening recovers."""
+        return self._wedged
+
+    def _check_wedged(self) -> None:
+        if self._wedged:
+            raise WALError(
+                "disk manager wedged by a failed checkpoint; "
+                "reopen the database to recover from the WAL"
+            )
+
+    def begin(self) -> None:
+        """Start buffering writes; nothing reaches disk until commit."""
+        self._check_wedged()
+        if self._txn is not None:
+            raise WALError("transaction already active")
+        self._txn = {}
+        self._committed_num_pages = self._num_pages_local
+        self._free_snapshot = (list(self._free_pages), set(self._free_lookup))
+
+    def commit(self) -> None:
+        """Log all buffered images, fsync, apply them, truncate the log."""
+        if self._txn is None:
+            raise WALError("no active transaction")
+        frames = self._txn
+        if not frames:
+            self._txn = None
+            self._free_snapshot = None
+            self._committed_num_pages = self._num_pages_local
+            return
+        # Until the COMMIT record is durable, failure leaves the
+        # transaction active and cleanly rollbackable.
+        if self.wal is not None:
+            lsns = self.wal.log_transaction(frames)  # the commit point
+        else:
+            lsns = {page_id: 0 for page_id in frames}
+        self._txn = None
+        self._free_snapshot = None
+        self._committed_num_pages = self._num_pages_local
+        # Checkpoint: idempotent redo of full page images.  A failure past
+        # the commit point wedges the manager -- the database file may be
+        # half-updated, but the WAL retains everything needed to finish
+        # the redo on the next open.
+        try:
+            for page_id in sorted(frames):
+                self._extend_inner_to(page_id)
+                self.inner.write_page(page_id, frames[page_id], lsns[page_id])
+            self.inner.flush()
+            if self.wal is not None:
+                self.wal.reset()
+        except BaseException:
+            if self.wal is not None:
+                self._wedged = True
+            raise
+
+    def rollback(self) -> None:
+        """Discard all buffered writes and allocations of the transaction."""
+        if self._txn is None:
+            raise WALError("no active transaction")
+        self._txn = None
+        self._num_pages_local = self._committed_num_pages
+        if self._free_snapshot is not None:
+            self._free_pages, self._free_lookup = self._free_snapshot
+            self._free_snapshot = None
+
+    # ------------------------------------------------------------------
+    # DiskManager interface
+    # ------------------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        return self._num_pages_local
+
+    def read_page(self, page_id: int) -> bytes:
+        self._check_wedged()
+        self._check_page_id(page_id)
+        if self._txn is not None and page_id in self._txn:
+            self.stats.page_reads += 1
+            return self._txn[page_id]
+        return self.inner.read_page(page_id)
+
+    def write_page(self, page_id: int, data: bytes, lsn: int = 0) -> None:
+        self._check_wedged()
+        self._check_page_id(page_id)
+        self._check_data(data)
+        if self._txn is None:
+            self.inner.write_page(page_id, data, lsn)
+            return
+        self._txn[page_id] = bytes(data)
+        self.stats.page_writes += 1
+
+    def page_lsn(self, page_id: int) -> int:
+        self._check_page_id(page_id)
+        if self._txn is not None and page_id in self._txn:
+            return 0  # not yet stamped; assigned at commit
+        return self.inner.page_lsn(page_id)
+
+    def _grow(self) -> int:
+        if self._txn is None:
+            page_id = self.inner._grow()
+            self._num_pages_local = self.inner.num_pages
+            return page_id
+        page_id = self._num_pages_local
+        self._num_pages_local += 1
+        # A grown page is all-zero until written; keeping the image in the
+        # transaction buffer means reads never fall through to the inner
+        # store, which has not grown yet.
+        self._txn[page_id] = bytes(self.payload_size)
+        self.stats.pages_allocated += 1
+        return page_id
+
+    def flush(self) -> None:
+        self.inner.flush()
+
+    def close(self) -> None:
+        if self._txn is not None:
+            self.rollback()
+        self.inner.close()
+        if self.wal is not None:
+            self.wal.close()
+
+    def kill(self) -> None:
+        self._txn = None
+        self.inner.kill()
+        if self.wal is not None:
+            self.wal.kill()

@@ -122,7 +122,7 @@ class TestBasics:
         __, pool = make_pool(capacity=4, page_size=128)
         frame = pool.new_page()
         pool.unpin(frame.page_id)
-        assert pool.memory_bytes == 128
+        assert pool.memory_bytes == pool.disk.payload_size
 
 
 @pytest.mark.parametrize("policy", REPLACEMENT_POLICIES)

@@ -1,67 +1,34 @@
 """Failure-injection tests: I/O errors must propagate, not corrupt.
 
-A wrapping disk manager raises after a configurable number of physical
-operations.  The storage layers must surface the failure as an exception
-(never silently return wrong data), and a store whose disk recovers must
-still serve everything that was durably written before the fault.
+These tests exercise :mod:`repro.storage.faults` (the first-class fault
+subsystem that replaced the old ad-hoc ``FlakyDisk`` helper).  The storage
+layers must surface injected failures as exceptions (never silently
+return wrong data), and a store whose disk recovers must still serve
+everything that was durably written before the fault.
 """
 
 import pytest
 
-from repro.errors import StorageError
+from repro.errors import CorruptPageError
 from repro.storage.btree import BTree
 from repro.storage.buffer import BufferPool
-from repro.storage.pager import DiskManager, InMemoryDiskManager
+from repro.storage.faults import (
+    FaultInjectingDiskManager,
+    InjectedIOError,
+    SimulatedCrash,
+    flip_bit,
+)
+from repro.storage.pager import InMemoryDiskManager
 
 
-class InjectedIOError(StorageError):
-    """The fault raised by the flaky disk."""
-
-
-class FlakyDisk(DiskManager):
-    """Delegates to an in-memory disk, failing after ``budget`` I/Os."""
-
-    def __init__(self, budget: int, page_size: int = 512):
-        super().__init__(page_size)
-        self._inner = InMemoryDiskManager(page_size)
-        self.budget = budget
-        self.failing = False
-
-    def _spend(self):
-        if self.failing:
-            raise InjectedIOError("injected disk failure")
-        self.budget -= 1
-        if self.budget < 0:
-            self.failing = True
-            raise InjectedIOError("injected disk failure")
-
-    @property
-    def num_pages(self):
-        return self._inner.num_pages
-
-    def _grow(self):
-        self._spend()
-        page_id = self._inner._grow()
-        self.stats.pages_allocated += 1
-        return page_id
-
-    def read_page(self, page_id):
-        self._spend()
-        self.stats.page_reads += 1
-        return self._inner.read_page(page_id)
-
-    def write_page(self, page_id, data):
-        self._spend()
-        self.stats.page_writes += 1
-        return self._inner.write_page(page_id, data)
-
-    def heal(self):
-        self.failing = False
-        self.budget = 10**9
+def flaky_disk(budget: int, page_size: int = 512) -> FaultInjectingDiskManager:
+    disk = FaultInjectingDiskManager(InMemoryDiskManager(page_size))
+    disk.fail_after(budget)
+    return disk
 
 
 def tree_with_budget(budget: int):
-    disk = FlakyDisk(budget)
+    disk = flaky_disk(budget)
     pool = BufferPool(disk, capacity=4)  # tiny pool -> real disk traffic
     tree = BTree.create(pool)
     return disk, pool, tree
@@ -79,9 +46,21 @@ class TestFaultPropagation:
         for value in range(50):
             tree.insert(value.to_bytes(8, "big"), bytes(40))
         pool.drop_all()
-        disk.budget = 0
+        disk.fail_after(0)
         with pytest.raises(InjectedIOError):
             tree.get((25).to_bytes(8, "big"))
+
+    def test_failure_is_sticky_until_heal(self):
+        disk = flaky_disk(budget=0)
+        pool = BufferPool(disk, capacity=4)
+        with pytest.raises(InjectedIOError):
+            pool.new_page()
+        assert disk.failing
+        with pytest.raises(InjectedIOError):
+            pool.new_page()
+        disk.heal()
+        frame = pool.new_page()
+        pool.unpin(frame.page_id)
 
     def test_no_silent_wrong_answers_at_any_fault_point(self):
         """Sweep the fault point: every attempt either raises or the data
@@ -99,10 +78,7 @@ class TestFaultPropagation:
             disk.heal()
             # Whatever is readable now must never contradict the reference.
             for key, expected in reference.items():
-                try:
-                    stored = tree.get(key)
-                except InjectedIOError:  # pragma: no cover - healed disk
-                    raise
+                stored = tree.get(key)
                 if stored is not None:
                     # A fault mid-split may lose the newest inserts, but a
                     # present key must carry the correct value.
@@ -116,8 +92,7 @@ class TestRecoveryAfterHeal:
             tree.insert(value.to_bytes(8, "big"), str(value).encode())
         pool.flush_all()
         pool.drop_all()  # pool is clean; dropping needs no I/O
-        disk.budget = 0
-        disk.failing = True
+        disk.fail_after(0)
         with pytest.raises(InjectedIOError):
             tree.get((42).to_bytes(8, "big"))  # cold read hits the fault
         disk.heal()
@@ -128,17 +103,100 @@ class TestRecoveryAfterHeal:
     def test_eviction_failure_preserves_dirty_data(self):
         """A failed writeback must keep the dirty frame cached so a later
         retry (after the disk heals) still persists the data."""
-        disk = FlakyDisk(budget=10**9, page_size=512)
+        disk = flaky_disk(budget=10**9, page_size=512)
         pool = BufferPool(disk, capacity=2)
         first = pool.new_page()
         first.data[0] = 0xAB
         pool.unpin(first.page_id, dirty=True)
         second = pool.new_page()
         pool.unpin(second.page_id, dirty=True)
-        disk.budget = 0
-        disk.failing = True
+        disk.fail_after(0)
         with pytest.raises(InjectedIOError):
             pool.new_page()  # needs an eviction -> writeback fails
         disk.heal()
         pool.flush_all()
         assert disk.read_page(first.page_id)[0] == 0xAB
+
+
+class TestFaultModes:
+    def test_stats_counted_exactly_once(self):
+        # The wrapper shares the inner manager's stats object, so a
+        # physical operation is never double counted (the old FlakyDisk
+        # helper got this wrong).
+        disk = flaky_disk(budget=10**9)
+        page_id = disk.allocate_page()
+        disk.write_page(page_id, bytes(disk.payload_size))
+        disk.read_page(page_id)
+        assert disk.stats is disk.inner.stats
+        assert disk.stats.pages_allocated == 1
+        assert disk.stats.page_writes == 1
+        assert disk.stats.page_reads == 1
+
+    def test_fail_on_page(self):
+        disk = FaultInjectingDiskManager(InMemoryDiskManager(512))
+        good = disk.allocate_page()
+        bad = disk.allocate_page()
+        disk.fail_on_page(bad, op="read")
+        assert disk.read_page(good) == bytes(disk.payload_size)
+        disk.write_page(bad, b"\x01" * disk.payload_size)  # writes still fine
+        with pytest.raises(InjectedIOError):
+            disk.read_page(bad)
+
+    def test_fail_after_ops_filter(self):
+        disk = FaultInjectingDiskManager(InMemoryDiskManager(512))
+        page_id = disk.allocate_page()
+        disk.fail_after(0, ops=("write",))
+        assert disk.read_page(page_id) == bytes(disk.payload_size)
+        with pytest.raises(InjectedIOError):
+            disk.write_page(page_id, bytes(disk.payload_size))
+
+    def test_crash_at_is_terminal(self):
+        disk = FaultInjectingDiskManager(InMemoryDiskManager(512))
+        page_id = disk.allocate_page()
+        disk.crash_at(disk.io_index)  # die on the very next physical I/O
+        with pytest.raises(SimulatedCrash):
+            disk.read_page(page_id)
+        # Still dead: the crash point stays armed at/below the clock.
+        with pytest.raises(SimulatedCrash):
+            disk.read_page(page_id)
+
+    def test_external_io_advances_the_same_clock(self):
+        disk = FaultInjectingDiskManager(InMemoryDiskManager(512))
+        page_id = disk.allocate_page()
+        before = disk.io_index
+        disk.external_io("wal-append")
+        assert disk.io_index == before + 1
+        disk.crash_at(disk.io_index)
+        with pytest.raises(SimulatedCrash):
+            disk.external_io("wal-commit")
+        with pytest.raises(SimulatedCrash):
+            disk.read_page(page_id)
+
+    def test_torn_write_detected_by_checksum(self):
+        disk = FaultInjectingDiskManager(InMemoryDiskManager(512))
+        page_id = disk.allocate_page()
+        disk.write_page(page_id, b"\x11" * disk.payload_size)
+        disk.torn_write_at(disk.io_index)
+        with pytest.raises(SimulatedCrash):
+            disk.write_page(page_id, b"\x22" * disk.payload_size)
+        # "Reboot": a fresh fault layer over the same physical bytes.
+        rebooted = FaultInjectingDiskManager(disk.inner)
+        with pytest.raises(CorruptPageError):
+            rebooted.read_page(page_id)
+
+    def test_flip_bit_detected_by_checksum(self):
+        disk = FaultInjectingDiskManager(InMemoryDiskManager(512))
+        page_id = disk.allocate_page()
+        disk.write_page(page_id, b"\x33" * disk.payload_size)
+        disk.flip_bit(page_id, bit_index=1000)
+        with pytest.raises(CorruptPageError):
+            disk.read_page(page_id)
+
+    def test_module_level_flip_bit(self):
+        inner = InMemoryDiskManager(512)
+        disk = FaultInjectingDiskManager(inner)
+        page_id = disk.allocate_page()
+        disk.write_page(page_id, b"\x44" * disk.payload_size)
+        flip_bit(inner, page_id, bit_index=3)
+        with pytest.raises(CorruptPageError):
+            disk.read_page(page_id)

@@ -1,9 +1,18 @@
-"""Tests for the page-level disk managers and their I/O accounting."""
+"""Tests for the page-level disk managers, checksums and I/O accounting."""
+
+import os
 
 import pytest
 
-from repro.errors import PageError
-from repro.storage.pager import FileDiskManager, InMemoryDiskManager, IOStats
+from repro.errors import CorruptPageError, PageError
+from repro.storage.pager import (
+    PAGE_HEADER_SIZE,
+    FileDiskManager,
+    InMemoryDiskManager,
+    IOStats,
+    decode_page,
+    encode_page,
+)
 
 
 @pytest.fixture(params=["memory", "file"])
@@ -22,13 +31,17 @@ class TestDiskManagers:
         assert disk.allocate_page() == 1
         assert disk.num_pages == 2
 
+    def test_payload_smaller_than_page(self, disk):
+        assert disk.page_size == 256
+        assert disk.payload_size == 256 - PAGE_HEADER_SIZE
+
     def test_new_pages_are_zeroed(self, disk):
         page_id = disk.allocate_page()
-        assert disk.read_page(page_id) == bytes(256)
+        assert disk.read_page(page_id) == bytes(disk.payload_size)
 
     def test_write_read_roundtrip(self, disk):
         page_id = disk.allocate_page()
-        data = bytes(range(256))
+        data = bytes(range(disk.payload_size))
         disk.write_page(page_id, data)
         assert disk.read_page(page_id) == data
 
@@ -44,10 +57,17 @@ class TestDiskManagers:
         with pytest.raises(PageError):
             disk.write_page(page_id, b"short")
 
+    def test_full_physical_page_write_rejected(self, disk):
+        # Callers deal in payloads; a page_size-sized buffer no longer fits.
+        page_id = disk.allocate_page()
+        with pytest.raises(PageError):
+            disk.write_page(page_id, bytes(disk.page_size))
+
     def test_io_counters(self, disk):
         page_id = disk.allocate_page()
-        disk.write_page(page_id, bytes(256))
-        disk.write_page(page_id, bytes(256))
+        payload = bytes(disk.payload_size)
+        disk.write_page(page_id, payload)
+        disk.write_page(page_id, payload)
         disk.read_page(page_id)
         assert disk.stats.pages_allocated == 1
         assert disk.stats.page_writes == 2
@@ -64,14 +84,14 @@ class TestDiskManagers:
 
     def test_free_page_reuse(self, disk):
         first = disk.allocate_page()
-        disk.write_page(first, b"\xcc" * 256)
+        disk.write_page(first, b"\xcc" * disk.payload_size)
         disk.free_page(first)
         assert disk.num_free_pages == 1
         assert disk.num_live_pages == 0
         reused = disk.allocate_page()
         assert reused == first
         # Reused pages come back zeroed.
-        assert disk.read_page(reused) == bytes(256)
+        assert disk.read_page(reused) == bytes(disk.payload_size)
         assert disk.num_free_pages == 0
 
     def test_double_free_rejected(self, disk):
@@ -79,6 +99,18 @@ class TestDiskManagers:
         disk.free_page(page_id)
         with pytest.raises(PageError):
             disk.free_page(page_id)
+
+    def test_double_free_detection_scales(self, disk):
+        # The free list keeps a parallel set, so freeing many pages stays
+        # cheap and detection stays exact at any free-list length.
+        pages = [disk.allocate_page() for __ in range(200)]
+        for page_id in pages:
+            disk.free_page(page_id)
+        assert disk.num_free_pages == 200
+        with pytest.raises(PageError):
+            disk.free_page(pages[0])
+        with pytest.raises(PageError):
+            disk.free_page(pages[-1])
 
     def test_free_unknown_page_rejected(self, disk):
         with pytest.raises(PageError):
@@ -88,17 +120,70 @@ class TestDiskManagers:
         with pytest.raises(PageError):
             InMemoryDiskManager(page_size=16)
 
+    def test_page_lsn_roundtrip(self, disk):
+        page_id = disk.allocate_page()
+        assert disk.page_lsn(page_id) == 0
+        disk.write_page(page_id, b"\x01" * disk.payload_size, lsn=7)
+        assert disk.page_lsn(page_id) == 7
+        assert disk.read_page(page_id) == b"\x01" * disk.payload_size
+
+
+class TestChecksums:
+    def test_encode_decode_roundtrip(self):
+        payload = bytes(range(240))
+        raw = encode_page(payload, 256, lsn=42)
+        assert len(raw) == 256
+        decoded, lsn = decode_page(raw)
+        assert decoded == payload
+        assert lsn == 42
+
+    def test_all_zero_page_is_valid(self):
+        # A freshly grown (never written) page decodes as a zero payload.
+        payload, lsn = decode_page(bytes(256))
+        assert payload == bytes(256 - PAGE_HEADER_SIZE)
+        assert lsn == 0
+
+    def test_single_bit_flip_detected(self):
+        payload = b"\x5a" * 240
+        raw = bytearray(encode_page(payload, 256))
+        raw[100] ^= 0x04
+        with pytest.raises(CorruptPageError):
+            decode_page(bytes(raw))
+
+    def test_header_corruption_detected(self):
+        raw = bytearray(encode_page(b"\x5a" * 240, 256, lsn=9))
+        raw[6] ^= 0x01  # inside the stored LSN
+        with pytest.raises(CorruptPageError):
+            decode_page(bytes(raw))
+
+    @pytest.mark.parametrize("bit", [0, 1, 7, 500, 2047])
+    def test_every_bit_position_detected(self, bit):
+        raw = bytearray(encode_page(b"\xa5" * 240, 256))
+        raw[bit // 8] ^= 1 << (bit % 8)
+        with pytest.raises(CorruptPageError):
+            decode_page(bytes(raw))
+
+    def test_flipped_bit_on_disk_raises_on_read(self, disk):
+        page_id = disk.allocate_page()
+        disk.write_page(page_id, b"\x77" * disk.payload_size)
+        raw = bytearray(disk._read_physical(page_id))
+        raw[50] ^= 0x20
+        disk._write_physical(page_id, bytes(raw))
+        with pytest.raises(CorruptPageError):
+            disk.read_page(page_id)
+
 
 class TestFilePersistence:
     def test_reopen_preserves_pages(self, tmp_path):
         path = str(tmp_path / "persist.db")
         with FileDiskManager(path, page_size=128) as disk:
+            payload = b"\xaa" * disk.payload_size
             page_id = disk.allocate_page()
-            disk.write_page(page_id, b"\xaa" * 128)
+            disk.write_page(page_id, payload)
             disk.flush()
         with FileDiskManager(path, page_size=128) as reopened:
             assert reopened.num_pages == 1
-            assert reopened.read_page(0) == b"\xaa" * 128
+            assert reopened.read_page(0) == payload
 
     def test_misaligned_file_rejected(self, tmp_path):
         path = tmp_path / "bad.db"
@@ -112,3 +197,33 @@ class TestFilePersistence:
             disk.allocate_page()
         # closing twice is harmless
         disk.close()
+
+    def test_fsync_flag(self, tmp_path):
+        path = str(tmp_path / "sync.db")
+        with FileDiskManager(path, page_size=128, fsync=True) as disk:
+            assert disk.fsync
+            page_id = disk.allocate_page()
+            disk.write_page(page_id, b"\x11" * disk.payload_size)
+            disk.flush()
+        with FileDiskManager(path, page_size=128, fsync=False) as disk:
+            assert not disk.fsync
+            disk.flush()
+
+    def test_kill_closes_without_flushing(self, tmp_path):
+        path = str(tmp_path / "kill.db")
+        disk = FileDiskManager(path, page_size=128, fsync=False)
+        disk.allocate_page()
+        disk.kill()
+        # The handle is gone: further I/O fails rather than silently
+        # buffering, and a second kill is harmless.
+        with pytest.raises(ValueError):
+            disk.allocate_page()
+        disk.kill()
+
+    def test_file_size_is_whole_physical_pages(self, tmp_path):
+        path = str(tmp_path / "layout.db")
+        with FileDiskManager(path, page_size=128, fsync=False) as disk:
+            for __ in range(3):
+                disk.allocate_page()
+            disk.flush()
+            assert os.path.getsize(path) == 3 * 128
