@@ -52,13 +52,21 @@ def _cmd_join(arguments) -> int:
         lhs, rhs, partitioner,
         signature_bits=arguments.signature_bits,
         engine=arguments.engine,
+        workers=arguments.workers,
+        backend=arguments.parallel_backend,
     )
     for r_tid, s_tid in sorted(result):
         print(f"{r_tid}\t{s_tid}")
+    parallel_note = ""
+    if arguments.workers > 1:
+        parallel_note = (
+            f" ({arguments.workers} workers, "
+            f"{arguments.parallel_backend} backend)"
+        )
     print(
         f"# {len(result)} pairs; {metrics.signature_comparisons} signature "
         f"comparisons, {metrics.replicated_signatures} replicated signatures, "
-        f"{metrics.total_seconds:.3f}s",
+        f"{metrics.total_seconds:.3f}s{parallel_note}",
         file=sys.stderr,
     )
     return 0
@@ -80,7 +88,8 @@ def _cmd_experiment(arguments) -> int:
     from .experiments import get_experiment
 
     kwargs = {}
-    if arguments.scale is not None and arguments.id in ("fig8", "fig9"):
+    if arguments.scale is not None and arguments.id in (
+            "fig8", "fig9", "parallel"):
         kwargs["scale"] = arguments.scale
     result = get_experiment(arguments.id)(**kwargs)
     if arguments.plot:
@@ -231,6 +240,16 @@ def main(argv: list[str] | None = None) -> int:
     join.add_argument("--partitions", "-k", type=int, default=32)
     join.add_argument("--signature-bits", type=int, default=160)
     join.add_argument("--engine", default="numpy", choices=["numpy", "python"])
+    join.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel join workers (default 1 = the serial operator)",
+    )
+    join.add_argument(
+        "--parallel-backend", default="process",
+        choices=["serial", "thread", "process"],
+        help="execution backend when --workers > 1 (default process; "
+        "falls back to serial where unavailable)",
+    )
     join.set_defaults(handler=_cmd_join)
 
     plan = commands.add_parser("plan", help="choose algorithm and k only")

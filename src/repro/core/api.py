@@ -47,6 +47,8 @@ def containment_join(
     signature_bits: int = DEFAULT_SIGNATURE_BITS,
     model: TimeModel = PAPER_TIME_MODEL,
     seed: int = 0,
+    workers: int = 1,
+    backend: str = "serial",
 ) -> tuple[set[tuple[int, int]], JoinMetrics]:
     """Compute ``{(r.tid, s.tid) : r ⊆ s}``.
 
@@ -54,6 +56,10 @@ def containment_join(
     naming an algorithm uses it at ``num_partitions`` (default 32, any
     value — DCJ/LSJ fold via the modulo approach when it is not a power
     of two).
+
+    ``workers``/``backend`` run the joining phase on the
+    partition-parallel engine (:mod:`repro.parallel`); results and the
+    paper's x/y counts are identical for any worker count.
     """
     if algorithm not in _ALGORITHMS:
         raise ConfigurationError(
@@ -78,7 +84,10 @@ def containment_join(
             partitioner = dcj_with_any_k(k, theta_r, theta_s)
         else:
             partitioner = lsj_with_any_k(k, theta_r, theta_s)
-    return run_disk_join(lhs, rhs, partitioner, signature_bits=signature_bits)
+    return run_disk_join(
+        lhs, rhs, partitioner, signature_bits=signature_bits,
+        workers=workers, backend=backend,
+    )
 
 
 def superset_join(
@@ -89,11 +98,14 @@ def superset_join(
     signature_bits: int = DEFAULT_SIGNATURE_BITS,
     model: TimeModel = PAPER_TIME_MODEL,
     seed: int = 0,
+    workers: int = 1,
+    backend: str = "serial",
 ) -> tuple[set[tuple[int, int]], JoinMetrics]:
     """Compute ``{(l.tid, r.tid) : l ⊇ r}`` — containment with the sides
     swapped and the result pairs swapped back."""
     pairs, metrics = containment_join(
-        rhs, lhs, algorithm, num_partitions, signature_bits, model, seed
+        rhs, lhs, algorithm, num_partitions, signature_bits, model, seed,
+        workers=workers, backend=backend,
     )
     return {(l_tid, r_tid) for r_tid, l_tid in pairs}, metrics
 
@@ -106,6 +118,8 @@ def self_containment_join(
     signature_bits: int = DEFAULT_SIGNATURE_BITS,
     model: TimeModel = PAPER_TIME_MODEL,
     seed: int = 0,
+    workers: int = 1,
+    backend: str = "serial",
 ) -> tuple[set[tuple[int, int]], JoinMetrics]:
     """Containment pairs within one relation: ``{(a, b) : a ⊆ b, a ≠ b}``.
 
@@ -116,6 +130,7 @@ def self_containment_join(
     pairs, metrics = containment_join(
         relation, relation, algorithm, num_partitions,
         signature_bits, model, seed,
+        workers=workers, backend=backend,
     )
     if strict:
         pairs = {(a, b) for a, b in pairs if a != b}

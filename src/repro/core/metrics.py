@@ -35,6 +35,21 @@ class PhaseMetrics:
     def from_io_delta(cls, seconds: float, delta: IOStats) -> "PhaseMetrics":
         return cls(seconds, delta.page_reads, delta.page_writes)
 
+    def __add__(self, other: "PhaseMetrics") -> "PhaseMetrics":
+        """Component-wise sum: combined time and I/O of two phase runs.
+
+        Summing seconds treats the phases as sequential; a parallel
+        caller (the partition-parallel engine) overwrites ``seconds``
+        with the observed wall clock after merging.
+        """
+        if not isinstance(other, PhaseMetrics):
+            return NotImplemented
+        return PhaseMetrics(
+            self.seconds + other.seconds,
+            self.page_reads + other.page_reads,
+            self.page_writes + other.page_writes,
+        )
+
 
 @dataclass
 class JoinMetrics:
@@ -59,6 +74,55 @@ class JoinMetrics:
     partitioning: PhaseMetrics = field(default_factory=PhaseMetrics)
     joining: PhaseMetrics = field(default_factory=PhaseMetrics)
     verification: PhaseMetrics = field(default_factory=PhaseMetrics)
+
+    @classmethod
+    def merge(cls, parts: "list[JoinMetrics]") -> "JoinMetrics":
+        """Aggregate per-worker metrics into one record.
+
+        The paper's accounting quantities are additive across workers by
+        construction: every signature comparison (``x``) and every
+        replicated signature (``y``) happens in exactly one worker, so
+        summing preserves them exactly.  Phase metrics are summed with
+        :meth:`PhaseMetrics.__add__` (summed seconds = total CPU-side
+        work; the engine overwrites the joining phase's ``seconds`` with
+        the parent's wall clock afterwards).
+
+        ``candidates``/``result_size`` are summed too, which over-counts
+        when the same pair is found by several workers (possible under
+        DCJ's replication); callers that deduplicate across workers —
+        the engine's merge layer — must recount those after the union.
+
+        Header fields (algorithm, k, |R|, |S|, signature bits) are taken
+        from the first record; merging records that disagree on them is
+        a :class:`~repro.errors.ConfigurationError`.
+        """
+        from ..errors import ConfigurationError
+
+        if not parts:
+            raise ConfigurationError("cannot merge an empty list of metrics")
+        first = parts[0]
+        header = (first.algorithm, first.num_partitions, first.r_size,
+                  first.s_size, first.signature_bits)
+        merged = cls(*header)
+        for part in parts:
+            if (part.algorithm, part.num_partitions, part.r_size,
+                    part.s_size, part.signature_bits) != header:
+                raise ConfigurationError(
+                    "refusing to merge metrics from different join "
+                    f"configurations: {header} vs "
+                    f"{(part.algorithm, part.num_partitions, part.r_size, part.s_size, part.signature_bits)}"
+                )
+            merged.signature_comparisons += part.signature_comparisons
+            merged.replicated_signatures += part.replicated_signatures
+            merged.resident_signatures += part.resident_signatures
+            merged.candidates += part.candidates
+            merged.false_positives += part.false_positives
+            merged.result_size += part.result_size
+            merged.set_comparisons += part.set_comparisons
+            merged.partitioning = merged.partitioning + part.partitioning
+            merged.joining = merged.joining + part.joining
+            merged.verification = merged.verification + part.verification
+        return merged
 
     @property
     def comparison_factor(self) -> float:

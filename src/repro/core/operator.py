@@ -50,9 +50,54 @@ from .signatures import (
     signature_of,
 )
 
-__all__ = ["Testbed", "SetContainmentJoin", "run_disk_join"]
+__all__ = ["Testbed", "SetContainmentJoin", "run_disk_join", "compare_block"]
 
 ENGINES = ("python", "numpy")
+
+
+def compare_block(
+    engine: str,
+    signature_bits: int,
+    r_block: "list[tuple[int, int]]",
+    s_batches: "Iterable[list[tuple[int, int]]]",
+    add,
+) -> int:
+    """Compare one R block against an S partition's batches.
+
+    The single block-nested-loop kernel shared by the serial operator and
+    the partition-parallel workers (:mod:`repro.parallel.worker`), so both
+    paths perform bit-for-bit the same comparisons.  ``add(r_tid, s_tid)``
+    is called for every pair passing the bitwise-inclusion filter; the
+    number of signature comparisons performed is returned.
+    """
+    comparisons = 0
+    if engine == "numpy":
+        packed_r = pack_signatures(
+            [signature for signature, __ in r_block], signature_bits
+        )
+        r_tids = np.array([tid for __, tid in r_block], dtype=np.int64)
+        words = packed_r.shape[1]
+        mask64 = (1 << 64) - 1
+        zero = np.uint64(0)
+        for s_batch in s_batches:
+            for s_sig, s_tid in s_batch:
+                comparisons += len(r_block)
+                # sig(r) ⊆ᵇ sig(s)  ⟺  r_words & ~s_words == 0, per word.
+                included = np.ones(len(r_block), dtype=bool)
+                for word in range(words):
+                    not_s = np.uint64(~(s_sig >> (64 * word)) & mask64)
+                    included &= (packed_r[:, word] & not_s) == zero
+                for r_tid in r_tids[included]:
+                    add(int(r_tid), s_tid)
+        return comparisons
+    for s_batch in s_batches:
+        for s_sig, s_tid in s_batch:
+            not_s = ~s_sig
+            for r_sig, r_tid in r_block:
+                comparisons += 1
+                if r_sig & not_s == 0:
+                    add(r_tid, s_tid)
+    return comparisons
 
 
 class Testbed:
@@ -147,6 +192,9 @@ class SetContainmentJoin:
         resident_partitions: int = 0,
         spill_candidates: bool = False,
         verify_per_partition: bool = False,
+        workers: int = 1,
+        parallel_backend: str = "serial",
+        shard_timeout: float | None = None,
     ):
         """Configure the operator.
 
@@ -171,6 +219,16 @@ class SetContainmentJoin:
           potentially joining tuples ... are sorted, and the
           corresponding tuples are fetched from disk").  Mutually
           exclusive with ``spill_candidates``.
+
+        ``workers``/``parallel_backend``/``shard_timeout`` engage the
+        partition-parallel execution engine (:mod:`repro.parallel`):
+        with ``workers > 1`` the joining phase's partition pairs are
+        sharded across workers (largest-partition-first) and executed by
+        the named backend (``"serial"``, ``"thread"`` or ``"process"``).
+        ``workers=1`` (the default) takes the original single-threaded
+        code path untouched.  Parallel execution implies deferred
+        verification, so it is mutually exclusive with
+        ``spill_candidates`` and ``verify_per_partition``.
         """
         if testbed.relation_r is None or testbed.relation_s is None:
             raise ConfigurationError("testbed has no loaded relations")
@@ -185,6 +243,21 @@ class SetContainmentJoin:
                 "spill_candidates and verify_per_partition are mutually "
                 "exclusive (spilling exists to defer verification)"
             )
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        from ..parallel.executor import BACKENDS
+
+        if parallel_backend not in BACKENDS:
+            raise ConfigurationError(
+                f"parallel_backend must be one of {BACKENDS}, "
+                f"got {parallel_backend!r}"
+            )
+        if workers > 1 and (spill_candidates or verify_per_partition):
+            raise ConfigurationError(
+                "parallel execution (workers > 1) defers verification and "
+                "keeps candidates in worker memory; it is mutually "
+                "exclusive with spill_candidates and verify_per_partition"
+            )
         self.testbed = testbed
         self.partitioner = partitioner
         self.signature_bits = signature_bits
@@ -198,6 +271,12 @@ class SetContainmentJoin:
         )
         self.spill_candidates = spill_candidates
         self.verify_per_partition = verify_per_partition
+        self.workers = workers
+        self.parallel_backend = parallel_backend
+        self.shard_timeout = shard_timeout
+        #: test hook threaded into parallel workers: fail the worker's own
+        #: disk manager after N physical I/Os (see repro.parallel.worker).
+        self._worker_fault_after: int | None = None
         self._resident_r: list[list[tuple[int, int]]] = []
         self._resident_s: list[list[tuple[int, int]]] = []
 
@@ -225,7 +304,12 @@ class SetContainmentJoin:
                 result = self._join_and_verify_phase(parts_r, parts_s, metrics)
                 self._drop_partitions(parts_r, parts_s)
             else:
-                candidates = self._join_phase(parts_r, parts_s, metrics)
+                if self.workers > 1:
+                    candidates = self._parallel_join_phase(
+                        parts_r, parts_s, metrics
+                    )
+                else:
+                    candidates = self._join_phase(parts_r, parts_s, metrics)
                 # Partition data is temporary ("stored on disk temporarily");
                 # reclaim its pages before verification.
                 self._drop_partitions(parts_r, parts_s)
@@ -343,6 +427,43 @@ class SetContainmentJoin:
         )
         return candidates
 
+    def _parallel_join_phase(
+        self,
+        parts_r: PartitionStore,
+        parts_s: PartitionStore,
+        metrics: JoinMetrics,
+    ) -> "_CandidateSink":
+        """Joining phase over the partition-parallel engine.
+
+        Shards the partition pairs across ``self.workers`` workers
+        (largest-partition-first), runs them on the configured backend
+        and merges the per-worker results deterministically.  The x/y
+        accounting is preserved exactly: each partition pair is joined
+        by exactly one worker with the same block-nested-loop kernel the
+        serial path uses, so summed signature comparisons equal the
+        serial count and the result set is identical.
+        """
+        from ..parallel.engine import run_parallel_join
+
+        disk = self.testbed.disk
+        before = disk.stats.snapshot()
+        started = time.perf_counter()
+        pairs, worker_metrics = run_parallel_join(self, parts_r, parts_s)
+        candidates = _SetCandidates()
+        for r_tid, s_tid in pairs:
+            candidates.add(r_tid, s_tid)
+        metrics.signature_comparisons += worker_metrics.signature_comparisons
+        metrics.candidates = len(candidates)
+        delta = disk.stats.delta(before)
+        # Parent-side I/O (inline shard materialization) plus the I/O the
+        # workers did through their own read-only storage views.
+        metrics.joining = PhaseMetrics(
+            time.perf_counter() - started,
+            delta.page_reads + worker_metrics.joining.page_reads,
+            delta.page_writes + worker_metrics.joining.page_writes,
+        )
+        return candidates
+
     def _join_and_verify_phase(
         self,
         parts_r: PartitionStore,
@@ -444,32 +565,13 @@ class SetContainmentJoin:
         metrics: JoinMetrics,
         candidates: "_CandidateSink",
     ) -> None:
-        if self.engine == "numpy":
-            packed_r = pack_signatures(
-                [signature for signature, __ in r_block], self.signature_bits
-            )
-            r_tids = np.array([tid for __, tid in r_block], dtype=np.int64)
-            words = packed_r.shape[1]
-            mask64 = (1 << 64) - 1
-            zero = np.uint64(0)
-            for s_batch in self._s_batches(parts_s, partition):
-                for s_sig, s_tid in s_batch:
-                    metrics.signature_comparisons += len(r_block)
-                    # sig(r) ⊆ᵇ sig(s)  ⟺  r_words & ~s_words == 0, per word.
-                    included = np.ones(len(r_block), dtype=bool)
-                    for word in range(words):
-                        not_s = np.uint64(~(s_sig >> (64 * word)) & mask64)
-                        included &= (packed_r[:, word] & not_s) == zero
-                    for r_tid in r_tids[included]:
-                        candidates.add(int(r_tid), s_tid)
-            return
-        for s_batch in self._s_batches(parts_s, partition):
-            for s_sig, s_tid in s_batch:
-                not_s = ~s_sig
-                for r_sig, r_tid in r_block:
-                    metrics.signature_comparisons += 1
-                    if r_sig & not_s == 0:
-                        candidates.add(r_tid, s_tid)
+        metrics.signature_comparisons += compare_block(
+            self.engine,
+            self.signature_bits,
+            r_block,
+            self._s_batches(parts_s, partition),
+            candidates.add,
+        )
 
     # ------------------------------------------------------------------
     # Phase 3: verification
@@ -585,8 +687,16 @@ def run_disk_join(
     resident_partitions: int = 0,
     spill_candidates: bool = False,
     verify_per_partition: bool = False,
+    workers: int = 1,
+    backend: str = "serial",
+    shard_timeout: float | None = None,
 ) -> tuple[set[tuple[int, int]], JoinMetrics]:
-    """Convenience wrapper: build a testbed, load, join, tear down."""
+    """Convenience wrapper: build a testbed, load, join, tear down.
+
+    ``workers``/``backend`` run the joining phase on the
+    partition-parallel engine (see :mod:`repro.parallel`); the result
+    set and the paper's x/y counts are identical for any worker count.
+    """
     with Testbed(path=path, buffer_pages=buffer_pages,
                  buffer_policy=buffer_policy) as testbed:
         testbed.load(lhs, rhs, payload_size=payload_size)
@@ -599,5 +709,8 @@ def run_disk_join(
             resident_partitions=resident_partitions,
             spill_candidates=spill_candidates,
             verify_per_partition=verify_per_partition,
+            workers=workers,
+            parallel_backend=backend,
+            shard_timeout=shard_timeout,
         )
         return join.run()

@@ -48,6 +48,16 @@ class SerializationError(StorageError):
     """Record could not be encoded or decoded."""
 
 
+class ParallelExecutionError(SetJoinError):
+    """A parallel join worker failed, timed out, or died.
+
+    Raised by :mod:`repro.parallel` instead of leaking backend-specific
+    exceptions (``BrokenProcessPool``, ``TimeoutError``) so callers can
+    handle worker failures with the same ``except SetJoinError`` they
+    already use for serial joins.
+    """
+
+
 class MemoryLimitExceeded(SetJoinError):
     """A main-memory algorithm exceeded its configured memory budget.
 

@@ -20,6 +20,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     fig07,
     fig10,
     optimizer_demo,
+    parallel_scaling,
     prediction,
     scaling,
     scorecard,

@@ -17,7 +17,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
         "--scale", type=float, default=None,
-        help="relation-size scale for testbed experiments (fig8/fig9)",
+        help="relation-size scale for testbed experiments "
+        "(fig8/fig9/parallel)",
     )
     parser.add_argument(
         "--all", action="store_true", help="run every registered experiment"
@@ -44,7 +45,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     run = get_experiment(arguments.experiment)
     kwargs = {}
-    if arguments.scale is not None and arguments.experiment in ("fig8", "fig9"):
+    if arguments.scale is not None and arguments.experiment in (
+            "fig8", "fig9", "parallel"):
         kwargs["scale"] = arguments.scale
     result = run(**kwargs)
     print(result.render())

@@ -1,0 +1,77 @@
+"""Deterministic combination of per-worker shard results.
+
+Two jobs, both order-insensitive so the output is identical for any
+worker count and any shard completion order:
+
+* :func:`merge_shard_pairs` unions the workers' candidate pairs and
+  returns them **sorted by (r_tid, s_tid)**.  Sorting at the merge
+  boundary is what makes the engine deterministic: the verification
+  phase then fetches tuples in the same order the serial path would
+  (the serial candidate sink also sorts), so results, I/O patterns and
+  false-positive accounting all line up.  The union also deduplicates
+  pairs that several workers found independently — possible when a
+  partitioner (DCJ) replicates a tuple into partitions that landed in
+  different shards.
+* :func:`merge_worker_metrics` folds the workers' counter shares into
+  one :class:`~repro.core.metrics.JoinMetrics` via ``JoinMetrics.merge``.
+  The paper's ``x`` (signature comparisons) is additive by construction
+  — each partition pair is joined by exactly one worker — so the merged
+  count equals the serial count exactly; ``y`` (replicated signatures)
+  is counted in the serial partitioning phase and is untouched by
+  parallel execution.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.metrics import JoinMetrics, PhaseMetrics
+from .worker import ShardResult
+
+__all__ = ["merge_shard_pairs", "merge_worker_metrics"]
+
+
+def merge_shard_pairs(results: Sequence[ShardResult]) -> list[tuple[int, int]]:
+    """Union the workers' candidate pairs, sorted by (r_tid, s_tid)."""
+    pairs: set[tuple[int, int]] = set()
+    for result in results:
+        pairs.update(result.pairs)
+    return sorted(pairs)
+
+
+def merge_worker_metrics(
+    results: Sequence[ShardResult], template: JoinMetrics
+) -> JoinMetrics:
+    """Aggregate the workers' metric shares into one record.
+
+    ``template`` supplies the header fields (algorithm, k, sizes,
+    signature bits) every per-worker record carries, so
+    :meth:`JoinMetrics.merge` can verify the shares belong to the same
+    join.  The returned record's ``joining`` phase holds summed worker
+    seconds (total CPU-side work) and summed worker I/O; the engine
+    overwrites ``seconds`` with the parent's observed wall clock.
+    """
+    shares = []
+    for result in results:
+        share = JoinMetrics(
+            algorithm=template.algorithm,
+            num_partitions=template.num_partitions,
+            r_size=template.r_size,
+            s_size=template.s_size,
+            signature_bits=template.signature_bits,
+        )
+        share.signature_comparisons = result.signature_comparisons
+        share.candidates = len(result.pairs)
+        share.joining = PhaseMetrics(
+            result.seconds, result.page_reads, result.page_writes
+        )
+        shares.append(share)
+    if not shares:
+        return JoinMetrics(
+            algorithm=template.algorithm,
+            num_partitions=template.num_partitions,
+            r_size=template.r_size,
+            s_size=template.s_size,
+            signature_bits=template.signature_bits,
+        )
+    return JoinMetrics.merge(shares)

@@ -1,0 +1,99 @@
+"""Shard construction: largest-partition-first (LPT) load balancing.
+
+A partition pair ``(R_p, S_p)`` costs ``|R_p| · |S_p|`` signature
+comparisons in the block-nested-loop join — known exactly before the
+joining phase starts, because the partitioning phase has already counted
+every partition's entries.  Scheduling with exact costs is the classic
+minimum-makespan problem; LPT (sort pairs by descending cost, always
+assign to the least-loaded shard) is the standard 4/3-approximation and
+is effectively optimal here since partition costs are many and varied.
+
+Empty pairs (either side has no entries) are dropped up front: the
+serial operator skips them too, and shipping them to workers would only
+add overhead.  Shard construction is fully deterministic — ties are
+broken by partition index and shard index — so a given input always
+yields the same shards, which keeps parallel runs reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+__all__ = ["PartitionTask", "Shard", "build_shards", "estimate_pair_cost"]
+
+
+def estimate_pair_cost(r_size: int, s_size: int) -> int:
+    """Estimated cost of joining one partition pair.
+
+    ``|R_p| · |S_p|`` is the exact number of signature comparisons the
+    block-nested-loop kernel performs; the ``+ |R_p| + |S_p|`` term
+    accounts for the linear scan/decode work so that pathological pairs
+    (huge on one side, tiny on the other) are not costed at zero.
+    """
+    return r_size * s_size + r_size + s_size
+
+
+@dataclass(frozen=True)
+class PartitionTask:
+    """One partition pair with its estimated cost."""
+
+    partition: int
+    r_size: int
+    s_size: int
+
+    @property
+    def cost(self) -> int:
+        return estimate_pair_cost(self.r_size, self.s_size)
+
+
+@dataclass
+class Shard:
+    """A set of partition pairs assigned to one worker."""
+
+    index: int
+    partitions: list[int] = field(default_factory=list)
+    cost: int = 0
+
+    def add(self, task: PartitionTask) -> None:
+        self.partitions.append(task.partition)
+        self.cost += task.cost
+
+
+def build_shards(
+    r_sizes: list[int], s_sizes: list[int], num_shards: int
+) -> list[Shard]:
+    """Pack the non-empty partition pairs into at most ``num_shards``
+    shards with LPT balancing.
+
+    Returns only non-empty shards (fewer than ``num_shards`` when there
+    are fewer non-empty pairs).  Each shard's partition list is sorted
+    ascending so workers scan their B-tree ranges in key order.
+    """
+    if len(r_sizes) != len(s_sizes):
+        raise ConfigurationError(
+            f"partition size lists disagree: {len(r_sizes)} vs {len(s_sizes)}"
+        )
+    if num_shards < 1:
+        raise ConfigurationError(f"need >= 1 shard, got {num_shards}")
+    tasks = [
+        PartitionTask(partition, r_size, s_size)
+        for partition, (r_size, s_size) in enumerate(zip(r_sizes, s_sizes))
+        if r_size and s_size
+    ]
+    # LPT: largest first, each onto the currently least-loaded shard.
+    tasks.sort(key=lambda task: (-task.cost, task.partition))
+    shards = [Shard(index) for index in range(min(num_shards, len(tasks)))]
+    if not shards:
+        return []
+    heap = [(0, shard.index) for shard in shards]
+    heapq.heapify(heap)
+    for task in tasks:
+        load, index = heapq.heappop(heap)
+        shards[index].add(task)
+        heapq.heappush(heap, (load + task.cost, index))
+    for shard in shards:
+        shard.partitions.sort()
+    return shards

@@ -1,0 +1,204 @@
+"""The per-shard join kernel executed by every backend.
+
+A shard is a self-contained job description (:class:`ShardSpec`) plus a
+pure function over it (:func:`run_shard`) — no closures, no shared
+state — so the same code runs in-process (serial backend), on a thread,
+or in a forked/spawned worker process.
+
+Partition data reaches a worker one of two ways:
+
+* **File source** — the testbed is file-backed, so the worker opens its
+  *own* read-only :class:`~repro.storage.pager.FileDiskManager` and
+  :class:`~repro.storage.buffer.BufferPool` over the testbed file and
+  attaches :class:`~repro.storage.partition_store.PartitionStore` views
+  at the sealed stores' meta pages.  Nothing mutable is shared between
+  workers or with the parent; each worker's buffer pool keeps its shard
+  of partition pages cache-resident, which is the locality argument for
+  partition-parallel containment joins in the first place.
+* **Inline entries** — the testbed is memory-backed (no file to reopen)
+  or a partition is memory-resident, so its ``(signature, tid)`` entries
+  are shipped in the spec.  The parent's page reads for materializing
+  them are counted in the parent's joining-phase I/O.
+
+Comparison semantics are shared with the serial operator through
+:func:`repro.core.operator.compare_block`, so a shard performs bit-for-bit
+the same signature comparisons the serial loop would for its partitions.
+
+Fault injection: ``ShardSpec.fail_after`` arms a
+:class:`~repro.storage.faults.FaultInjectingDiskManager` around the
+worker's own disk manager (file source only).  The resulting
+``InjectedIOError`` is reported through :attr:`ShardResult.error` rather
+than raised, so a dying worker never surfaces as an opaque
+``BrokenProcessPool`` in the parent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["FileSource", "ShardSpec", "ShardResult", "run_shard"]
+
+
+@dataclass(frozen=True)
+class FileSource:
+    """Where and how to reopen the testbed file for read-only scanning."""
+
+    path: str
+    page_size: int
+    buffer_pages: int
+    buffer_policy: str
+    r_meta_page: int
+    s_meta_page: int
+
+
+@dataclass
+class ShardSpec:
+    """Everything one worker needs to join its partition pairs.
+
+    Plain data only (ints, strings, lists, dicts) so the spec pickles
+    cleanly across process boundaries under any start method.
+    """
+
+    partitions: list[int]
+    engine: str
+    signature_bits: int
+    block_entries: int
+    batch_portions: int
+    file_source: FileSource | None = None
+    #: partition -> entries, for partitions not readable via file_source
+    #: (memory-backed testbeds and memory-resident partitions).
+    inline_r: dict[int, list[tuple[int, int]]] = field(default_factory=dict)
+    inline_s: dict[int, list[tuple[int, int]]] = field(default_factory=dict)
+    #: test hook: fail the worker's disk manager after N physical I/Os.
+    fail_after: int | None = None
+
+
+@dataclass
+class ShardResult:
+    """One worker's output: candidate pairs plus its share of the metrics."""
+
+    pairs: list[tuple[int, int]] = field(default_factory=list)
+    signature_comparisons: int = 0
+    page_reads: int = 0
+    page_writes: int = 0
+    seconds: float = 0.0
+    partitions: int = 0
+    #: set instead of raising so the failure crosses process boundaries
+    #: as data; the executor re-raises it as ParallelExecutionError.
+    error: str | None = None
+    error_type: str | None = None
+
+
+def _iter_r_blocks(
+    entries_or_store, partition: int, block_entries: int, batch_portions: int
+) -> Iterator[list[tuple[int, int]]]:
+    """Group a partition's R side into memory-bounded blocks, mirroring
+    ``SetContainmentJoin._r_blocks`` exactly."""
+    if isinstance(entries_or_store, list):
+        for start in range(0, len(entries_or_store), block_entries):
+            yield entries_or_store[start : start + block_entries]
+        return
+    block: list[tuple[int, int]] = []
+    for batch in entries_or_store.scan_partition_batches(
+        partition, batch_portions
+    ):
+        block.extend(batch)
+        if len(block) >= block_entries:
+            yield block
+            block = []
+    if block:
+        yield block
+
+
+def _iter_s_batches(
+    entries_or_store, partition: int, batch_portions: int
+) -> Iterable[list[tuple[int, int]]]:
+    if isinstance(entries_or_store, list):
+        yield entries_or_store
+        return
+    yield from entries_or_store.scan_partition_batches(partition, batch_portions)
+
+
+def run_shard(spec: ShardSpec) -> ShardResult:
+    """Join every partition pair of one shard; never raises.
+
+    Any failure — injected I/O fault, corrupt page, bad spec — is
+    captured into the result so it survives pickling back to the parent
+    regardless of backend.
+    """
+    from ..core.operator import compare_block
+
+    result = ShardResult(partitions=len(spec.partitions))
+    started = time.perf_counter()
+    disk = None
+    try:
+        parts_r = parts_s = None
+        if spec.file_source is not None:
+            disk, pool = _open_file_source(spec)
+            parts_r, parts_s = _attach_stores(spec, pool)
+        pairs: set[tuple[int, int]] = set()
+        for partition in spec.partitions:
+            r_side = spec.inline_r.get(partition, parts_r)
+            s_side = spec.inline_s.get(partition, parts_s)
+            if r_side is None or s_side is None:
+                raise ValueError(
+                    f"partition {partition} has neither a file source nor "
+                    "inline entries"
+                )
+            for block in _iter_r_blocks(
+                r_side, partition, spec.block_entries, spec.batch_portions
+            ):
+                result.signature_comparisons += compare_block(
+                    spec.engine,
+                    spec.signature_bits,
+                    block,
+                    _iter_s_batches(s_side, partition, spec.batch_portions),
+                    lambda r_tid, s_tid: pairs.add((r_tid, s_tid)),
+                )
+        result.pairs = sorted(pairs)
+    except Exception as error:  # noqa: BLE001 — shipped to the parent as data
+        result.error = str(error)
+        result.error_type = type(error).__name__
+    finally:
+        if disk is not None:
+            result.page_reads = disk.stats.page_reads
+            result.page_writes = disk.stats.page_writes
+            try:
+                disk.close()
+            except Exception:  # noqa: BLE001 — injected faults may outlive the job
+                pass
+    result.seconds = time.perf_counter() - started
+    return result
+
+
+def _open_file_source(spec: ShardSpec):
+    """Open this worker's private read-only storage view."""
+    from ..storage.buffer import BufferPool
+    from ..storage.pager import FileDiskManager
+
+    source = spec.file_source
+    disk = FileDiskManager(source.path, source.page_size, fsync=False)
+    if spec.fail_after is not None:
+        from ..storage.faults import FaultInjectingDiskManager
+
+        disk = FaultInjectingDiskManager(disk).fail_after(spec.fail_after)
+    pool = BufferPool(
+        disk, capacity=source.buffer_pages, policy=source.buffer_policy
+    )
+    return disk, pool
+
+
+def _attach_stores(spec: ShardSpec, pool):
+    from ..storage.partition_store import PartitionStore
+
+    signature_bytes = (spec.signature_bits + 7) // 8
+    num_partitions = max(spec.partitions) + 1 if spec.partitions else 1
+    parts_r = PartitionStore.attach(
+        pool, spec.file_source.r_meta_page, signature_bytes, num_partitions
+    )
+    parts_s = PartitionStore.attach(
+        pool, spec.file_source.s_meta_page, signature_bytes, num_partitions
+    )
+    return parts_r, parts_s

@@ -73,11 +73,68 @@ class PartitionStore:
         self._entry_counts = [0] * num_partitions
         self._sealed = False
         self._dropped = False
+        self._attached = False
 
     @staticmethod
     def _max_value_bytes(pool: BufferPool) -> int:
         # Must satisfy the B-tree's two-entries-per-node constraint.
         return (pool.disk.payload_size - 27) // 2 - 32
+
+    # ------------------------------------------------------------------
+    # Read-only reopen (the partition-parallel engine's worker path)
+    # ------------------------------------------------------------------
+
+    @property
+    def meta_page_id(self) -> int:
+        """Page id of the backing B-tree's meta page.
+
+        Together with the disk file this fully identifies a sealed store,
+        so another process can :meth:`attach` a read-only view of it.
+        """
+        return self._tree.meta_page_id
+
+    @classmethod
+    def attach(
+        cls,
+        pool: BufferPool,
+        meta_page_id: int,
+        signature_bytes: int,
+        num_partitions: int,
+        entry_counts: "list[int] | None" = None,
+    ) -> "PartitionStore":
+        """Open a read-only view of a sealed store through another pool.
+
+        This is how parallel join workers see the partition data: each
+        worker opens its own :class:`~repro.storage.pager.FileDiskManager`
+        and :class:`BufferPool` over the same file and attaches at the
+        store's :attr:`meta_page_id`, so no mutable state is shared with
+        the parent or with sibling workers.  The view is born sealed;
+        appending or dropping through it is rejected.
+        """
+        if signature_bytes < 1:
+            raise ConfigurationError("signature must be at least one byte")
+        if num_partitions < 1:
+            raise ConfigurationError(f"need >= 1 partition, got {num_partitions}")
+        store = cls.__new__(cls)
+        store.pool = pool
+        store.signature_bytes = signature_bytes
+        store.num_partitions = num_partitions
+        store.monolithic = False
+        store.entry_size = partition_entry_size(signature_bytes)
+        store.portion_entries = max(
+            1, cls._max_value_bytes(pool) // store.entry_size
+        )
+        store._tree = BTree(pool, meta_page_id)
+        store._buffers = []
+        store._portion_counts = [0] * num_partitions
+        store._entry_counts = (
+            list(entry_counts) if entry_counts is not None
+            else [0] * num_partitions
+        )
+        store._sealed = True
+        store._dropped = False
+        store._attached = True
+        return store
 
     # ------------------------------------------------------------------
     # Write phase
@@ -140,6 +197,11 @@ class PartitionStore:
         """Free the store's pages (partitions are temporary); returns the
         number of pages reclaimed.  Idempotent; the store must not be
         written or scanned afterwards."""
+        if self._attached:
+            raise ConfigurationError(
+                "a read-only attached view cannot drop the store; "
+                "only the owning process reclaims partition pages"
+            )
         if self._dropped:
             return 0
         self._sealed = True

@@ -51,6 +51,19 @@ class TestCommands:
         pairs = {tuple(map(int, line.split())) for line in output.splitlines()}
         assert pairs == {(0, 0), (1, 1), (2, 2)}
 
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_join_parallel_workers(self, set_files, capsys, backend):
+        r_path, s_path = set_files
+        assert main([
+            "join", r_path, s_path, "--algorithm", "dcj", "-k", "8",
+            "--workers", "2", "--parallel-backend", backend,
+        ]) == 0
+        captured = capsys.readouterr()
+        pairs = {tuple(map(int, line.split()))
+                 for line in captured.out.splitlines()}
+        assert pairs == {(0, 0), (1, 1), (2, 2)}
+        assert f"2 workers, {backend} backend" in captured.err
+
     def test_plan_reports_choice(self, set_files, capsys):
         r_path, s_path = set_files
         assert main(["plan", r_path, s_path]) == 0

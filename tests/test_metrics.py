@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.metrics import JoinMetrics, PhaseMetrics
+from repro.errors import ConfigurationError
 from repro.storage.pager import IOStats
 
 
@@ -13,6 +14,21 @@ class TestPhaseMetrics:
         assert phase.seconds == 1.5
         assert phase.page_reads == 5
         assert phase.page_writes == 3
+
+    def test_add_sums_componentwise(self):
+        combined = PhaseMetrics(1.5, 10, 4) + PhaseMetrics(0.5, 3, 1)
+        assert combined == PhaseMetrics(2.0, 13, 5)
+
+    def test_add_does_not_mutate_operands(self):
+        left = PhaseMetrics(1.0, 1, 1)
+        right = PhaseMetrics(2.0, 2, 2)
+        __ = left + right
+        assert left == PhaseMetrics(1.0, 1, 1)
+        assert right == PhaseMetrics(2.0, 2, 2)
+
+    def test_add_rejects_foreign_types(self):
+        with pytest.raises(TypeError):
+            PhaseMetrics(1.0, 1, 1) + 3
 
 
 class TestJoinMetrics:
@@ -51,6 +67,50 @@ class TestJoinMetrics:
 
     def test_filter_precision(self):
         assert self.make().filter_precision == pytest.approx(0.75)
+
+    def test_merge_preserves_paper_accounting(self):
+        # x and y are additive across workers: each signature comparison
+        # and each replicated signature happens in exactly one worker.
+        left, right = self.make(), self.make()
+        right.signature_comparisons = 1_000
+        right.replicated_signatures = 50
+        merged = JoinMetrics.merge([left, right])
+        assert merged.signature_comparisons == 6_000
+        assert merged.replicated_signatures == 500
+        assert merged.candidates == 40
+        assert merged.false_positives == 10
+        assert merged.set_comparisons == 0
+
+    def test_merge_keeps_header_from_first(self):
+        merged = JoinMetrics.merge([self.make(), self.make()])
+        assert merged.algorithm == "DCJ"
+        assert merged.num_partitions == 8
+        assert merged.r_size == 100
+        assert merged.s_size == 200
+        assert merged.signature_bits == 160
+
+    def test_merge_sums_phases(self):
+        merged = JoinMetrics.merge([self.make(), self.make()])
+        assert merged.joining == PhaseMetrics(4.0, 60, 0)
+        assert merged.partitioning == PhaseMetrics(2.0, 20, 40)
+        assert merged.total_seconds == pytest.approx(7.0)
+
+    def test_merge_single_record_is_identity_on_counters(self):
+        original = self.make()
+        merged = JoinMetrics.merge([original])
+        assert merged.signature_comparisons == original.signature_comparisons
+        assert merged.replicated_signatures == original.replicated_signatures
+        assert merged.joining == original.joining
+
+    def test_merge_rejects_mismatched_headers(self):
+        other = self.make()
+        other.num_partitions = 16
+        with pytest.raises(ConfigurationError):
+            JoinMetrics.merge([self.make(), other])
+
+    def test_merge_rejects_empty_list(self):
+        with pytest.raises(ConfigurationError):
+            JoinMetrics.merge([])
 
     def test_as_row_contains_key_columns(self):
         row = self.make().as_row()

@@ -1,0 +1,83 @@
+"""Tests for LPT shard construction and the pair cost model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.scheduler import (
+    PartitionTask,
+    build_shards,
+    estimate_pair_cost,
+)
+
+
+class TestCostModel:
+    def test_quadratic_term_dominates(self):
+        # |R_p|·|S_p| signature comparisons is the paper's join cost.
+        assert estimate_pair_cost(100, 200) == 100 * 200 + 300
+
+    def test_one_sided_pair_still_costs_its_scan(self):
+        assert estimate_pair_cost(0, 500) == 500
+
+    def test_task_cost_property(self):
+        assert PartitionTask(3, 10, 20).cost == estimate_pair_cost(10, 20)
+
+
+class TestBuildShards:
+    def test_empty_pairs_are_dropped(self):
+        shards = build_shards([5, 0, 7, 3], [4, 9, 0, 2], num_shards=4)
+        covered = sorted(p for shard in shards for p in shard.partitions)
+        # Partitions 1 and 2 have an empty side — the serial loop skips
+        # them, so the scheduler must too.
+        assert covered == [0, 3]
+
+    def test_every_nonempty_pair_assigned_exactly_once(self):
+        r_sizes = [10, 20, 0, 40, 5, 60, 7, 80]
+        s_sizes = [80, 7, 60, 5, 40, 0, 20, 10]
+        shards = build_shards(r_sizes, s_sizes, num_shards=3)
+        covered = sorted(p for shard in shards for p in shard.partitions)
+        assert covered == [0, 1, 3, 4, 6, 7]
+
+    def test_lpt_balances_loads(self):
+        # Eight equal-cost pairs over four shards: perfectly balanced.
+        shards = build_shards([10] * 8, [10] * 8, num_shards=4)
+        assert len(shards) == 4
+        costs = [shard.cost for shard in shards]
+        assert max(costs) == min(costs)
+        assert all(len(shard.partitions) == 2 for shard in shards)
+
+    def test_largest_pair_goes_to_its_own_shard(self):
+        # One giant pair plus many small ones: LPT must not co-locate
+        # small pairs with the giant while other shards sit near-empty.
+        r_sizes = [1000] + [10] * 6
+        s_sizes = [1000] + [10] * 6
+        shards = build_shards(r_sizes, s_sizes, num_shards=3)
+        giant = next(s for s in shards if 0 in s.partitions)
+        assert giant.partitions == [0]
+
+    def test_never_more_shards_than_pairs(self):
+        shards = build_shards([5, 5], [5, 5], num_shards=8)
+        assert len(shards) == 2
+
+    def test_deterministic(self):
+        r_sizes = [3, 1, 4, 1, 5, 9, 2, 6]
+        s_sizes = [2, 7, 1, 8, 2, 8, 1, 8]
+        first = build_shards(r_sizes, s_sizes, num_shards=3)
+        second = build_shards(r_sizes, s_sizes, num_shards=3)
+        assert [s.partitions for s in first] == [s.partitions for s in second]
+        assert [s.cost for s in first] == [s.cost for s in second]
+
+    def test_partitions_sorted_within_shard(self):
+        shards = build_shards([9, 1, 8, 2, 7], [9, 1, 8, 2, 7], num_shards=2)
+        for shard in shards:
+            assert shard.partitions == sorted(shard.partitions)
+
+    def test_all_empty_returns_no_shards(self):
+        assert build_shards([0, 0], [0, 0], num_shards=4) == []
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_shards([1, 2], [1], num_shards=2)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_shards([1], [1], num_shards=0)

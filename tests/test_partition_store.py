@@ -100,6 +100,58 @@ class TestValidation:
         assert store.partition_size(0) == 1
 
 
+class TestAttachedViews:
+    """Read-only views over a sealed store's pages, as opened by
+    parallel join workers through their own buffer pools."""
+
+    def seal_store(self, pool, partitions=3):
+        store = make_store(pool, partitions=partitions)
+        for value in range(90):
+            store.append(value % partitions, value, value)
+        store.seal()
+        return store
+
+    def test_attach_scans_identically(self, pool):
+        store = self.seal_store(pool)
+        view = PartitionStore.attach(
+            pool, store.meta_page_id, store.signature_bytes,
+            store.num_partitions,
+        )
+        for partition in range(3):
+            assert list(view.scan_partition(partition)) == list(
+                store.scan_partition(partition)
+            )
+
+    def test_attach_reports_sizes_when_given_counts(self, pool):
+        store = self.seal_store(pool)
+        counts = [store.partition_size(p) for p in range(3)]
+        view = PartitionStore.attach(
+            pool, store.meta_page_id, store.signature_bytes,
+            store.num_partitions, entry_counts=counts,
+        )
+        assert [view.partition_size(p) for p in range(3)] == counts
+
+    def test_attached_view_is_sealed(self, pool):
+        store = self.seal_store(pool)
+        view = PartitionStore.attach(
+            pool, store.meta_page_id, store.signature_bytes,
+            store.num_partitions,
+        )
+        with pytest.raises(ConfigurationError):
+            view.append(0, 1, 1)
+
+    def test_attached_view_cannot_drop_shared_pages(self, pool):
+        store = self.seal_store(pool)
+        view = PartitionStore.attach(
+            pool, store.meta_page_id, store.signature_bytes,
+            store.num_partitions,
+        )
+        with pytest.raises(ConfigurationError):
+            view.drop()
+        # The owning store can still scan — nothing was freed.
+        assert store.partition_size(0) == 30
+
+
 class TestMonolithicMode:
     def test_small_partitions_work(self, pool):
         store = make_store(pool, monolithic=True)
