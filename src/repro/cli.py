@@ -48,12 +48,18 @@ def _cmd_join(arguments) -> int:
             lhs.average_cardinality() or 1.0,
             rhs.average_cardinality() or 1.0,
         )
+    tracer = None
+    if arguments.trace:
+        from .obs import Tracer
+
+        tracer = Tracer()
     result, metrics = run_disk_join(
         lhs, rhs, partitioner,
         signature_bits=arguments.signature_bits,
         engine=arguments.engine,
         workers=arguments.workers,
         backend=arguments.parallel_backend,
+        tracer=tracer,
     )
     for r_tid, s_tid in sorted(result):
         print(f"{r_tid}\t{s_tid}")
@@ -69,6 +75,20 @@ def _cmd_join(arguments) -> int:
         f"{metrics.total_seconds:.3f}s{parallel_note}",
         file=sys.stderr,
     )
+    if tracer is not None:
+        from .obs import console_summary, write_trace_jsonl
+
+        spans = write_trace_jsonl(tracer, arguments.trace)
+        print(f"# trace: {spans} spans written to {arguments.trace}",
+              file=sys.stderr)
+        print(console_summary(tracer), file=sys.stderr)
+    if arguments.metrics:
+        from .obs import get_registry, prometheus_text, record_join
+
+        record_join(metrics)
+        with open(arguments.metrics, "w") as handle:
+            handle.write(prometheus_text(get_registry()))
+        print(f"# metrics written to {arguments.metrics}", file=sys.stderr)
     return 0
 
 
@@ -85,19 +105,36 @@ def _cmd_plan(arguments) -> int:
 
 
 def _cmd_experiment(arguments) -> int:
+    from contextlib import nullcontext
+
     from .experiments import get_experiment
 
     kwargs = {}
     if arguments.scale is not None and arguments.id in (
             "fig8", "fig9", "parallel"):
         kwargs["scale"] = arguments.scale
-    result = get_experiment(arguments.id)(**kwargs)
+    tracer = None
+    scope = nullcontext()
+    if arguments.trace:
+        from .obs import Tracer
+        from .obs.trace import use_tracer
+
+        tracer = Tracer()
+        scope = use_tracer(tracer)
+    with scope:
+        result = get_experiment(arguments.id)(**kwargs)
     if arguments.plot:
         from .experiments.plotting import plot_result
 
         print(plot_result(result))
     else:
         print(result.render())
+    if tracer is not None:
+        from .obs import write_trace_jsonl
+
+        spans = write_trace_jsonl(tracer, arguments.trace)
+        print(f"# trace: {spans} spans written to {arguments.trace}",
+              file=sys.stderr)
     return 0
 
 
@@ -167,6 +204,13 @@ def _cmd_db(arguments) -> int:
             print(f"# {len(pairs)} pairs in {metrics.total_seconds:.3f}s "
                   f"({metrics.algorithm}, k={metrics.num_partitions})",
                   file=sys.stderr)
+            return 0
+        if arguments.action == "stats":
+            for key, value in db.stats().items():
+                if isinstance(value, float):
+                    print(f"{key}\t{value:.4f}")
+                else:
+                    print(f"{key}\t{value}")
             return 0
         if arguments.action == "verify":
             from .errors import StorageError
@@ -250,6 +294,15 @@ def main(argv: list[str] | None = None) -> int:
         help="execution backend when --workers > 1 (default process; "
         "falls back to serial where unavailable)",
     )
+    join.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a span trace of the run to PATH (JSON Lines) and "
+        "print a phase breakdown to stderr",
+    )
+    join.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write Prometheus text-format metrics for the run to PATH",
+    )
     join.set_defaults(handler=_cmd_join)
 
     plan = commands.add_parser("plan", help="choose algorithm and k only")
@@ -265,6 +318,10 @@ def main(argv: list[str] | None = None) -> int:
     experiment.add_argument(
         "--plot", action="store_true",
         help="render an ASCII chart instead of the table",
+    )
+    experiment.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a span trace of the experiment to PATH (JSON Lines)",
     )
     experiment.set_defaults(handler=_cmd_experiment)
 
@@ -296,7 +353,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     database.add_argument("database", help="database file path")
     database.add_argument(
-        "action", choices=["list", "load", "drop", "explain", "join", "verify"]
+        "action",
+        choices=["list", "load", "drop", "explain", "join", "verify", "stats"],
     )
     database.add_argument("args", nargs="*", help="action arguments")
     database.set_defaults(handler=_cmd_db)

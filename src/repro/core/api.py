@@ -49,6 +49,7 @@ def containment_join(
     seed: int = 0,
     workers: int = 1,
     backend: str = "serial",
+    tracer=None,
 ) -> tuple[set[tuple[int, int]], JoinMetrics]:
     """Compute ``{(r.tid, s.tid) : r ⊆ s}``.
 
@@ -60,6 +61,10 @@ def containment_join(
     ``workers``/``backend`` run the joining phase on the
     partition-parallel engine (:mod:`repro.parallel`); results and the
     paper's x/y counts are identical for any worker count.
+
+    ``tracer`` (a :class:`repro.obs.trace.Tracer`) records a span tree
+    of the execution — phases, partition pairs, per-shard worker spans —
+    without changing results or accounting; see :mod:`repro.obs`.
     """
     if algorithm not in _ALGORITHMS:
         raise ConfigurationError(
@@ -86,7 +91,7 @@ def containment_join(
             partitioner = lsj_with_any_k(k, theta_r, theta_s)
     return run_disk_join(
         lhs, rhs, partitioner, signature_bits=signature_bits,
-        workers=workers, backend=backend,
+        workers=workers, backend=backend, tracer=tracer,
     )
 
 
@@ -100,12 +105,13 @@ def superset_join(
     seed: int = 0,
     workers: int = 1,
     backend: str = "serial",
+    tracer=None,
 ) -> tuple[set[tuple[int, int]], JoinMetrics]:
     """Compute ``{(l.tid, r.tid) : l ⊇ r}`` — containment with the sides
     swapped and the result pairs swapped back."""
     pairs, metrics = containment_join(
         rhs, lhs, algorithm, num_partitions, signature_bits, model, seed,
-        workers=workers, backend=backend,
+        workers=workers, backend=backend, tracer=tracer,
     )
     return {(l_tid, r_tid) for r_tid, l_tid in pairs}, metrics
 
@@ -120,6 +126,7 @@ def self_containment_join(
     seed: int = 0,
     workers: int = 1,
     backend: str = "serial",
+    tracer=None,
 ) -> tuple[set[tuple[int, int]], JoinMetrics]:
     """Containment pairs within one relation: ``{(a, b) : a ⊆ b, a ≠ b}``.
 
@@ -130,7 +137,7 @@ def self_containment_join(
     pairs, metrics = containment_join(
         relation, relation, algorithm, num_partitions,
         signature_bits, model, seed,
-        workers=workers, backend=backend,
+        workers=workers, backend=backend, tracer=tracer,
     )
     if strict:
         pairs = {(a, b) for a, b in pairs if a != b}

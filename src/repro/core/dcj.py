@@ -90,6 +90,7 @@ class DCJPartitioner(Partitioner):
         self.family = family
         self.num_levels = levels
         self.pattern = pattern
+        self.reset_route_stats()
 
     @classmethod
     def for_cardinalities(
@@ -118,20 +119,29 @@ class DCJPartitioner(Partitioner):
         """
         # (partial_index, node_op) states at the current level.
         states = [(0, _ALPHA if self.pattern != "beta" else _BETA)]
+        alpha_evals = beta_evals = alpha_repls = beta_repls = 0
         for level in range(self.num_levels):
             fired = bool((mask >> level) & 1)
             next_states: list[tuple[int, int]] = []
             for index, op in states:
                 top = (index << 1) | 1
                 bottom = index << 1
+                if op == _ALPHA:
+                    alpha_evals += 1
+                else:
+                    beta_evals += 1
                 if is_r_side:
                     if op == _ALPHA:
                         destinations = [True] if fired else [False]
                     else:
                         destinations = [False] if fired else [True, False]
+                        if not fired:
+                            beta_repls += 1
                 else:
                     if op == _ALPHA:
                         destinations = [True, False] if fired else [False]
+                        if fired:
+                            alpha_repls += 1
                     else:
                         destinations = [False] if fired else [True]
                 for went_top in destinations:
@@ -140,7 +150,29 @@ class DCJPartitioner(Partitioner):
                         (child, _child_op(op, went_top, self.pattern))
                     )
             states = next_states
+        self._route_stats["alpha_evaluations"] += alpha_evals
+        self._route_stats["beta_evaluations"] += beta_evals
+        self._route_stats["alpha_replications"] += alpha_repls
+        self._route_stats["beta_replications"] += beta_repls
         return [index for index, __ in states]
+
+    def route_stats(self) -> dict:
+        """α/β operator-node evaluation and replication counts since the
+        last reset.
+
+        Replication happens for S-tuples at α-nodes (h=1) and for
+        R-tuples at β-nodes (h=0) — these counters expose which operator
+        drives the paper's ``y`` for a given workload.
+        """
+        return dict(self._route_stats)
+
+    def reset_route_stats(self) -> None:
+        self._route_stats = {
+            "alpha_evaluations": 0,
+            "beta_evaluations": 0,
+            "alpha_replications": 0,
+            "beta_replications": 0,
+        }
 
     def assign_r(self, elements: frozenset[int]) -> list[int]:
         return self._route(self.family.evaluate(elements), is_r_side=True)

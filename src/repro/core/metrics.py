@@ -71,9 +71,21 @@ class JoinMetrics:
     result_size: int = 0
     set_comparisons: int = 0
 
+    #: buffer-pool behaviour over the whole run (parent pool plus, for
+    #: parallel runs, the workers' private pools).
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+
     partitioning: PhaseMetrics = field(default_factory=PhaseMetrics)
     joining: PhaseMetrics = field(default_factory=PhaseMetrics)
     verification: PhaseMetrics = field(default_factory=PhaseMetrics)
+
+    #: parallel runs only: each shard's joining-phase share (true wall
+    #: seconds and page I/O per worker), in shard index order.  The
+    #: aggregate ``joining`` phase keeps the parent's observed wall
+    #: clock; this list preserves the per-shard timings the merge step
+    #: previously discarded.
+    shard_joining: list[PhaseMetrics] = field(default_factory=list)
 
     @classmethod
     def merge(cls, parts: "list[JoinMetrics]") -> "JoinMetrics":
@@ -119,9 +131,12 @@ class JoinMetrics:
             merged.false_positives += part.false_positives
             merged.result_size += part.result_size
             merged.set_comparisons += part.set_comparisons
+            merged.buffer_hits += part.buffer_hits
+            merged.buffer_misses += part.buffer_misses
             merged.partitioning = merged.partitioning + part.partitioning
             merged.joining = merged.joining + part.joining
             merged.verification = merged.verification + part.verification
+            merged.shard_joining.extend(part.shard_joining)
         return merged
 
     @property
@@ -165,6 +180,12 @@ class JoinMetrics:
         """Fraction of signature-filter candidates that truly join."""
         return self.result_size / self.candidates if self.candidates else 1.0
 
+    @property
+    def buffer_hit_rate(self) -> float:
+        """Fraction of buffer-pool fetches served from memory."""
+        total = self.buffer_hits + self.buffer_misses
+        return self.buffer_hits / total if total else 0.0
+
     def as_row(self) -> dict:
         """Flat dict for tabular reporting (benchmarks, EXPERIMENTS.md)."""
         return {
@@ -185,4 +206,5 @@ class JoinMetrics:
             "t_total_s": round(self.total_seconds, 6),
             "page_reads": self.total_page_reads,
             "page_writes": self.total_page_writes,
+            "buffer_hit_rate": round(self.buffer_hit_rate, 4),
         }

@@ -36,6 +36,8 @@ from typing import Iterable
 import numpy as np
 
 from ..errors import ConfigurationError, SetJoinError
+from ..obs.registry import get_registry
+from ..obs.trace import current_tracer, use_tracer
 from ..storage.buffer import BufferPool
 from ..storage.pager import DiskManager, FileDiskManager, InMemoryDiskManager
 from ..storage.partition_store import PartitionStore
@@ -195,6 +197,7 @@ class SetContainmentJoin:
         workers: int = 1,
         parallel_backend: str = "serial",
         shard_timeout: float | None = None,
+        tracer=None,
     ):
         """Configure the operator.
 
@@ -229,6 +232,14 @@ class SetContainmentJoin:
         code path untouched.  Parallel execution implies deferred
         verification, so it is mutually exclusive with
         ``spill_candidates`` and ``verify_per_partition``.
+
+        ``tracer`` is an optional :class:`repro.obs.trace.Tracer`; when
+        given (or when an ambient tracer is active, see
+        :func:`repro.obs.trace.use_tracer`) the run produces a span tree
+        covering the three phases, every partition pair, buffer-pool
+        misses and — for parallel runs — per-shard worker spans stitched
+        under the joining phase.  Tracing never changes results or the
+        paper's x/y accounting.
         """
         if testbed.relation_r is None or testbed.relation_s is None:
             raise ConfigurationError("testbed has no loaded relations")
@@ -274,6 +285,7 @@ class SetContainmentJoin:
         self.workers = workers
         self.parallel_backend = parallel_backend
         self.shard_timeout = shard_timeout
+        self.tracer = tracer
         #: test hook threaded into parallel workers: fail the worker's own
         #: disk manager after N physical I/Os (see repro.parallel.worker).
         self._worker_fault_after: int | None = None
@@ -297,33 +309,57 @@ class SetContainmentJoin:
             s_size=len(self.testbed.relation_s),
             signature_bits=self.signature_bits,
         )
-        parts_r, parts_s = self._partition_phase(metrics)
-        candidates: _CandidateSink | None = None
-        try:
-            if self.verify_per_partition:
-                result = self._join_and_verify_phase(parts_r, parts_s, metrics)
-                self._drop_partitions(parts_r, parts_s)
-            else:
-                if self.workers > 1:
-                    candidates = self._parallel_join_phase(
+        tracer = self.tracer if self.tracer is not None else current_tracer()
+        pool_before = self.testbed.pool.stats.snapshot()
+        with use_tracer(tracer), tracer.span(
+            "join",
+            algorithm=metrics.algorithm,
+            k=metrics.num_partitions,
+            r_size=metrics.r_size,
+            s_size=metrics.s_size,
+            engine=self.engine,
+            workers=self.workers,
+        ) as root:
+            parts_r, parts_s = self._partition_phase(metrics)
+            candidates: _CandidateSink | None = None
+            try:
+                if self.verify_per_partition:
+                    result = self._join_and_verify_phase(
                         parts_r, parts_s, metrics
                     )
+                    self._drop_partitions(parts_r, parts_s)
                 else:
-                    candidates = self._join_phase(parts_r, parts_s, metrics)
-                # Partition data is temporary ("stored on disk temporarily");
-                # reclaim its pages before verification.
+                    if self.workers > 1:
+                        candidates = self._parallel_join_phase(
+                            parts_r, parts_s, metrics
+                        )
+                    else:
+                        candidates = self._join_phase(parts_r, parts_s, metrics)
+                    # Partition data is temporary ("stored on disk
+                    # temporarily"); reclaim its pages before verification.
+                    self._drop_partitions(parts_r, parts_s)
+                    result = self._verification_phase(candidates, metrics)
+            except BaseException:
+                # Spill cleanup must run on the failure path too, so an
+                # aborted join never strands temporary pages in a long-lived
+                # database session.
                 self._drop_partitions(parts_r, parts_s)
-                result = self._verification_phase(candidates, metrics)
-        except BaseException:
-            # Spill cleanup must run on the failure path too, so an
-            # aborted join never strands temporary pages in a long-lived
-            # database session.
-            self._drop_partitions(parts_r, parts_s)
-            if candidates is not None:
-                with suppress(SetJoinError):
-                    candidates.dispose()
-            raise
-        metrics.result_size = len(result)
+                if candidates is not None:
+                    with suppress(SetJoinError):
+                        candidates.dispose()
+                raise
+            metrics.result_size = len(result)
+            pool_delta = self.testbed.pool.stats.delta(pool_before)
+            metrics.buffer_hits += pool_delta.hits
+            metrics.buffer_misses += pool_delta.misses
+            root.set(
+                results=metrics.result_size,
+                signature_comparisons=metrics.signature_comparisons,
+                replicated_signatures=metrics.replicated_signatures,
+                candidates=metrics.candidates,
+                buffer_hits=metrics.buffer_hits,
+                buffer_misses=metrics.buffer_misses,
+            )
         return result, metrics
 
     def _drop_partitions(
@@ -353,40 +389,68 @@ class SetContainmentJoin:
         self._resident_r = [[] for __ in range(resident)]
         self._resident_s = [[] for __ in range(resident)]
 
+        tracer = current_tracer()
+        self.partitioner.reset_route_stats()
         parts_r: PartitionStore | None = None
         parts_s: PartitionStore | None = None
-        try:
-            parts_r = self._make_store()
-            for tid, elements, __ in self.testbed.relation_r.scan():
-                signature = signature_of(elements, self.signature_bits)
-                for index in self.partitioner.assign_r(elements):
-                    if index < resident:
-                        self._resident_r[index].append((signature, tid))
-                    else:
-                        parts_r.append(index, signature, tid)
-            parts_r.seal()
+        with tracer.span(
+            "phase.partition", k=self.partitioner.num_partitions
+        ) as span:
+            try:
+                with tracer.span("partition.scan_r", tuples=metrics.r_size):
+                    parts_r = self._make_store()
+                    for tid, elements, __ in self.testbed.relation_r.scan():
+                        signature = signature_of(elements, self.signature_bits)
+                        for index in self.partitioner.assign_r(elements):
+                            if index < resident:
+                                self._resident_r[index].append(
+                                    (signature, tid)
+                                )
+                            else:
+                                parts_r.append(index, signature, tid)
+                    parts_r.seal()
 
-            parts_s = self._make_store()
-            for tid, elements, __ in self.testbed.relation_s.scan():
-                signature = signature_of(elements, self.signature_bits)
-                for index in self.partitioner.assign_s(elements):
-                    if index < resident:
-                        self._resident_s[index].append((signature, tid))
-                    else:
-                        parts_s.append(index, signature, tid)
-            parts_s.seal()
+                with tracer.span("partition.scan_s", tuples=metrics.s_size):
+                    parts_s = self._make_store()
+                    for tid, elements, __ in self.testbed.relation_s.scan():
+                        signature = signature_of(elements, self.signature_bits)
+                        for index in self.partitioner.assign_s(elements):
+                            if index < resident:
+                                self._resident_s[index].append(
+                                    (signature, tid)
+                                )
+                            else:
+                                parts_s.append(index, signature, tid)
+                    parts_s.seal()
 
-            pool.flush_all()
-        except BaseException:
-            self._drop_partitions(parts_r, parts_s)
-            raise
-        metrics.replicated_signatures = parts_r.total_entries + parts_s.total_entries
-        metrics.resident_signatures = sum(map(len, self._resident_r)) + sum(
-            map(len, self._resident_s)
-        )
-        metrics.partitioning = PhaseMetrics.from_io_delta(
-            time.perf_counter() - started, disk.stats.delta(before)
-        )
+                pool.flush_all()
+            except BaseException:
+                self._drop_partitions(parts_r, parts_s)
+                raise
+            metrics.replicated_signatures = (
+                parts_r.total_entries + parts_s.total_entries
+            )
+            metrics.resident_signatures = sum(map(len, self._resident_r)) + sum(
+                map(len, self._resident_s)
+            )
+            metrics.partitioning = PhaseMetrics.from_io_delta(
+                time.perf_counter() - started, disk.stats.delta(before)
+            )
+            span.set(
+                replicated_signatures=metrics.replicated_signatures,
+                resident_signatures=metrics.resident_signatures,
+                page_reads=metrics.partitioning.page_reads,
+                page_writes=metrics.partitioning.page_writes,
+            )
+            route_stats = self.partitioner.route_stats()
+            if route_stats:
+                span.set(**route_stats)
+                registry = get_registry()
+                for name, value in route_stats.items():
+                    registry.counter(
+                        f"setjoin_dcj_{name}_total",
+                        f"DCJ routing: {name.replace('_', ' ')}",
+                    ).inc(value)
         return parts_r, parts_s
 
     def _make_store(self) -> PartitionStore:
@@ -410,21 +474,43 @@ class SetContainmentJoin:
         disk = self.testbed.disk
         before = disk.stats.snapshot()
         started = time.perf_counter()
+        tracer = current_tracer()
         if self.spill_candidates:
             candidates: _CandidateSink = _SpilledCandidates(self.testbed.pool)
         else:
             candidates = _SetCandidates()
-        for partition in range(self.partitioner.num_partitions):
-            if not self._partition_size_r(parts_r, partition):
-                continue
-            if not self._partition_size_s(parts_s, partition):
-                continue
-            for block in self._r_blocks(parts_r, partition):
-                self._join_block(block, parts_s, partition, metrics, candidates)
-        metrics.candidates = len(candidates)
-        metrics.joining = PhaseMetrics.from_io_delta(
-            time.perf_counter() - started, disk.stats.delta(before)
-        )
+        with tracer.span("phase.join") as span:
+            for partition in range(self.partitioner.num_partitions):
+                r_entries = self._partition_size_r(parts_r, partition)
+                if not r_entries:
+                    continue
+                s_entries = self._partition_size_s(parts_s, partition)
+                if not s_entries:
+                    continue
+                with tracer.span(
+                    "join.partition",
+                    partition=partition,
+                    r_entries=r_entries,
+                    s_entries=s_entries,
+                ) as partition_span:
+                    comparisons_before = metrics.signature_comparisons
+                    for block in self._r_blocks(parts_r, partition):
+                        self._join_block(
+                            block, parts_s, partition, metrics, candidates
+                        )
+                    partition_span.set(
+                        comparisons=metrics.signature_comparisons
+                        - comparisons_before
+                    )
+            metrics.candidates = len(candidates)
+            metrics.joining = PhaseMetrics.from_io_delta(
+                time.perf_counter() - started, disk.stats.delta(before)
+            )
+            span.set(
+                candidates=metrics.candidates,
+                page_reads=metrics.joining.page_reads,
+                page_writes=metrics.joining.page_writes,
+            )
         return candidates
 
     def _parallel_join_phase(
@@ -448,20 +534,36 @@ class SetContainmentJoin:
         disk = self.testbed.disk
         before = disk.stats.snapshot()
         started = time.perf_counter()
-        pairs, worker_metrics = run_parallel_join(self, parts_r, parts_s)
-        candidates = _SetCandidates()
-        for r_tid, s_tid in pairs:
-            candidates.add(r_tid, s_tid)
-        metrics.signature_comparisons += worker_metrics.signature_comparisons
-        metrics.candidates = len(candidates)
-        delta = disk.stats.delta(before)
-        # Parent-side I/O (inline shard materialization) plus the I/O the
-        # workers did through their own read-only storage views.
-        metrics.joining = PhaseMetrics(
-            time.perf_counter() - started,
-            delta.page_reads + worker_metrics.joining.page_reads,
-            delta.page_writes + worker_metrics.joining.page_writes,
-        )
+        with current_tracer().span(
+            "phase.join",
+            workers=self.workers,
+            backend=self.parallel_backend,
+        ) as span:
+            pairs, worker_metrics = run_parallel_join(self, parts_r, parts_s)
+            candidates = _SetCandidates()
+            for r_tid, s_tid in pairs:
+                candidates.add(r_tid, s_tid)
+            metrics.signature_comparisons += worker_metrics.signature_comparisons
+            metrics.candidates = len(candidates)
+            metrics.buffer_hits += worker_metrics.buffer_hits
+            metrics.buffer_misses += worker_metrics.buffer_misses
+            delta = disk.stats.delta(before)
+            # Parent-side I/O (inline shard materialization) plus the I/O the
+            # workers did through their own read-only storage views.
+            metrics.joining = PhaseMetrics(
+                time.perf_counter() - started,
+                delta.page_reads + worker_metrics.joining.page_reads,
+                delta.page_writes + worker_metrics.joining.page_writes,
+            )
+            # The per-shard timings the merge used to discard: each
+            # shard's true wall seconds and worker-side page I/O.
+            metrics.shard_joining = worker_metrics.shard_joining
+            span.set(
+                shards=len(metrics.shard_joining),
+                candidates=metrics.candidates,
+                page_reads=metrics.joining.page_reads,
+                page_writes=metrics.joining.page_writes,
+            )
         return candidates
 
     def _join_and_verify_phase(
@@ -477,48 +579,69 @@ class SetContainmentJoin:
         verified only the first time it appears.
         """
         disk = self.testbed.disk
+        tracer = current_tracer()
         result: set[tuple[int, int]] = set()
         seen: set[tuple[int, int]] = set()
         join_seconds = 0.0
-        for partition in range(self.partitioner.num_partitions):
-            if not self._partition_size_r(parts_r, partition):
-                continue
-            if not self._partition_size_s(parts_s, partition):
-                continue
-            before = disk.stats.snapshot()
-            started = time.perf_counter()
-            fresh = _SetCandidates()
-            for block in self._r_blocks(parts_r, partition):
-                self._join_block(block, parts_s, partition, metrics, fresh)
-            join_seconds += time.perf_counter() - started
-            join_delta = disk.stats.delta(before)
-            metrics.joining.page_reads += join_delta.page_reads
-            metrics.joining.page_writes += join_delta.page_writes
+        with tracer.span("phase.join+verify") as phase_span:
+            for partition in range(self.partitioner.num_partitions):
+                r_entries = self._partition_size_r(parts_r, partition)
+                if not r_entries:
+                    continue
+                s_entries = self._partition_size_s(parts_s, partition)
+                if not s_entries:
+                    continue
+                before = disk.stats.snapshot()
+                started = time.perf_counter()
+                fresh = _SetCandidates()
+                with tracer.span(
+                    "join.partition",
+                    partition=partition,
+                    r_entries=r_entries,
+                    s_entries=s_entries,
+                ):
+                    for block in self._r_blocks(parts_r, partition):
+                        self._join_block(
+                            block, parts_s, partition, metrics, fresh
+                        )
+                join_seconds += time.perf_counter() - started
+                join_delta = disk.stats.delta(before)
+                metrics.joining.page_reads += join_delta.page_reads
+                metrics.joining.page_writes += join_delta.page_writes
 
-            before = disk.stats.snapshot()
-            started = time.perf_counter()
-            new_pairs = [
-                pair for pair in fresh.sorted_pairs() if pair not in seen
-            ]
-            seen.update(new_pairs)
-            r_sets = self.testbed.relation_r.fetch_many(
-                tid for tid, __ in new_pairs
+                before = disk.stats.snapshot()
+                started = time.perf_counter()
+                with tracer.span(
+                    "verify.partition", partition=partition
+                ) as verify_span:
+                    new_pairs = [
+                        pair for pair in fresh.sorted_pairs()
+                        if pair not in seen
+                    ]
+                    seen.update(new_pairs)
+                    r_sets = self.testbed.relation_r.fetch_many(
+                        tid for tid, __ in new_pairs
+                    )
+                    s_sets = self.testbed.relation_s.fetch_many(
+                        tid for __, tid in new_pairs
+                    )
+                    for r_tid, s_tid in new_pairs:
+                        metrics.set_comparisons += 1
+                        if r_sets[r_tid] <= s_sets[s_tid]:
+                            result.add((r_tid, s_tid))
+                        else:
+                            metrics.false_positives += 1
+                    verify_span.set(candidates=len(new_pairs))
+                metrics.verification.seconds += time.perf_counter() - started
+                verify_delta = disk.stats.delta(before)
+                metrics.verification.page_reads += verify_delta.page_reads
+                metrics.verification.page_writes += verify_delta.page_writes
+            metrics.joining.seconds = join_seconds
+            metrics.candidates = len(seen)
+            phase_span.set(
+                candidates=metrics.candidates,
+                false_positives=metrics.false_positives,
             )
-            s_sets = self.testbed.relation_s.fetch_many(
-                tid for __, tid in new_pairs
-            )
-            for r_tid, s_tid in new_pairs:
-                metrics.set_comparisons += 1
-                if r_sets[r_tid] <= s_sets[s_tid]:
-                    result.add((r_tid, s_tid))
-                else:
-                    metrics.false_positives += 1
-            metrics.verification.seconds += time.perf_counter() - started
-            verify_delta = disk.stats.delta(before)
-            metrics.verification.page_reads += verify_delta.page_reads
-            metrics.verification.page_writes += verify_delta.page_writes
-        metrics.joining.seconds = join_seconds
-        metrics.candidates = len(seen)
         return result
 
     def _partition_size_r(self, parts_r: PartitionStore, partition: int) -> int:
@@ -585,20 +708,31 @@ class SetContainmentJoin:
         disk = self.testbed.disk
         before = disk.stats.snapshot()
         started = time.perf_counter()
-        pairs = list(candidates.sorted_pairs())
-        candidates.dispose()
-        r_sets = self.testbed.relation_r.fetch_many(tid for tid, __ in pairs)
-        s_sets = self.testbed.relation_s.fetch_many(tid for __, tid in pairs)
-        result: set[tuple[int, int]] = set()
-        for r_tid, s_tid in pairs:
-            metrics.set_comparisons += 1
-            if r_sets[r_tid] <= s_sets[s_tid]:
-                result.add((r_tid, s_tid))
-            else:
-                metrics.false_positives += 1
-        metrics.verification = PhaseMetrics.from_io_delta(
-            time.perf_counter() - started, disk.stats.delta(before)
-        )
+        with current_tracer().span("phase.verify") as span:
+            pairs = list(candidates.sorted_pairs())
+            candidates.dispose()
+            r_sets = self.testbed.relation_r.fetch_many(
+                tid for tid, __ in pairs
+            )
+            s_sets = self.testbed.relation_s.fetch_many(
+                tid for __, tid in pairs
+            )
+            result: set[tuple[int, int]] = set()
+            for r_tid, s_tid in pairs:
+                metrics.set_comparisons += 1
+                if r_sets[r_tid] <= s_sets[s_tid]:
+                    result.add((r_tid, s_tid))
+                else:
+                    metrics.false_positives += 1
+            metrics.verification = PhaseMetrics.from_io_delta(
+                time.perf_counter() - started, disk.stats.delta(before)
+            )
+            span.set(
+                candidates=len(pairs),
+                false_positives=metrics.false_positives,
+                results=len(result),
+                page_reads=metrics.verification.page_reads,
+            )
         return result
 
 
@@ -690,12 +824,14 @@ def run_disk_join(
     workers: int = 1,
     backend: str = "serial",
     shard_timeout: float | None = None,
+    tracer=None,
 ) -> tuple[set[tuple[int, int]], JoinMetrics]:
     """Convenience wrapper: build a testbed, load, join, tear down.
 
     ``workers``/``backend`` run the joining phase on the
     partition-parallel engine (see :mod:`repro.parallel`); the result
     set and the paper's x/y counts are identical for any worker count.
+    ``tracer`` enables span tracing of the run (see :mod:`repro.obs`).
     """
     with Testbed(path=path, buffer_pages=buffer_pages,
                  buffer_policy=buffer_policy) as testbed:
@@ -712,5 +848,6 @@ def run_disk_join(
             workers=workers,
             parallel_backend=backend,
             shard_timeout=shard_timeout,
+            tracer=tracer,
         )
         return join.run()

@@ -50,6 +50,17 @@ class Partitioner:
     def describe(self) -> str:
         return f"{self.name}(k={self.num_partitions})"
 
+    def route_stats(self) -> dict:
+        """Observability hook: routing counters accumulated since the
+        last :meth:`reset_route_stats` (empty for stateless algorithms;
+        DCJ reports per-operator α/β evaluation and replication counts).
+        """
+        return {}
+
+    def reset_route_stats(self) -> None:
+        """Zero the counters behind :meth:`route_stats` (no-op unless
+        the algorithm keeps any)."""
+
 
 @dataclass
 class PartitionAssignment:

@@ -234,11 +234,13 @@ class SetJoinDatabase:
         signature_bits: int = DEFAULT_SIGNATURE_BITS,
         engine: str = "numpy",
         seed: int = 0,
+        tracer=None,
     ) -> tuple[set[tuple[int, int]], JoinMetrics]:
         """Set containment join of two stored relations (R ⊆ S side order).
 
         Runs directly over the stored B-trees; temporary partition data is
-        written into the same file and reclaimed afterwards.
+        written into the same file and reclaimed afterwards.  ``tracer``
+        records a span tree of the run (see :mod:`repro.obs`).
         """
         self._check_open()
         if algorithm == "auto":
@@ -264,9 +266,42 @@ class SetJoinDatabase:
             self.disk, self.pool, self.get_store(r_name), self.get_store(s_name)
         )
         join = SetContainmentJoin(
-            testbed, partitioner, signature_bits=signature_bits, engine=engine
+            testbed, partitioner, signature_bits=signature_bits,
+            engine=engine, tracer=tracer,
         )
         return join.run(cold_cache=False)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Storage-layer statistics for the ``db ... stats`` CLI action.
+
+        Everything is read from live counters — no I/O happens beyond
+        catalog lookups that are already cached.
+        """
+        self._check_open()
+        pool_stats = self.pool.stats
+        names = self.relation_names()
+        out = {
+            "relations": len(names),
+            "tuples": sum(self.relation_size(name) for name in names),
+            "pages": self.disk.num_pages,
+            "page_size": self.disk.page_size,
+            "page_reads": self.disk.stats.page_reads,
+            "page_writes": self.disk.stats.page_writes,
+            "buffer_capacity": self.pool.capacity,
+            "buffer_pages_cached": len(self.pool),
+            "buffer_hits": pool_stats.hits,
+            "buffer_misses": pool_stats.misses,
+            "buffer_hit_rate": pool_stats.hit_rate,
+            "buffer_evictions": pool_stats.evictions,
+            "buffer_dirty_writebacks": pool_stats.dirty_writebacks,
+        }
+        if isinstance(self.disk, WALDiskManager) and self.disk.wal is not None:
+            out["wal_bytes"] = self.disk.wal.size_bytes
+        return out
 
     # ------------------------------------------------------------------
     # Integrity

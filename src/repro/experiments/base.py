@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -124,14 +125,30 @@ def register(experiment_id: str):
 
 
 def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
-    """Look up a registered experiment by id."""
+    """Look up a registered experiment by id.
+
+    The returned callable runs the experiment under an
+    ``experiment:<id>`` span on the ambient tracer (a no-op unless one
+    is active — see :mod:`repro.obs.trace`), so harness runs traced via
+    ``setjoins experiment <id> --trace`` get every join's span tree
+    grouped per experiment.
+    """
     try:
-        return EXPERIMENTS[experiment_id]
+        function = EXPERIMENTS[experiment_id]
     except KeyError:
         raise ConfigurationError(
             f"unknown experiment {experiment_id!r}; "
             f"known: {', '.join(sorted(EXPERIMENTS))}"
         ) from None
+
+    @functools.wraps(function)
+    def traced(*args, **kwargs) -> ExperimentResult:
+        from ..obs.trace import current_tracer
+
+        with current_tracer().span(f"experiment:{experiment_id}"):
+            return function(*args, **kwargs)
+
+    return traced
 
 
 def experiment_ids() -> list[str]:

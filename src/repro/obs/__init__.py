@@ -1,0 +1,49 @@
+"""Observability: span tracing, metrics registry, exporters.
+
+The paper's argument is quantitative — x/y counts, per-phase I/O, the
+calibrated time model ``time(x, y, k) = c1·x + c2·y·k^c3`` — so the
+testbed needs to *see* where time and I/O go.  This package provides the
+cross-cutting layer the rest of the system reports through:
+
+* :mod:`.trace` — a lightweight span tracer with explicit clock
+  injection, nested spans, attributes, and cross-process stitching (the
+  partition-parallel workers serialize their spans back to the parent).
+* :mod:`.registry` — a process-wide registry of counters, gauges and
+  histograms unifying the ad-hoc counters the substrate already keeps
+  (signature comparisons, replications, page I/O, buffer hits/misses,
+  WAL fsyncs) behind one API, without touching the paper's x/y
+  accounting.
+* :mod:`.export` — exporters: JSONL trace files, Prometheus text
+  format, and a human-readable console summary with a flamegraph-style
+  phase breakdown.
+
+Tracing is opt-in and free when off: the ambient tracer defaults to
+:data:`~repro.obs.trace.NULL_TRACER`, whose spans are shared no-op
+objects.
+"""
+
+from .registry import MetricsRegistry, get_registry, record_join
+from .trace import NULL_TRACER, Span, Tracer, current_tracer, use_tracer
+from .export import (
+    console_summary,
+    prometheus_text,
+    span_records,
+    validate_trace_records,
+    write_trace_jsonl,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "get_registry",
+    "record_join",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "use_tracer",
+    "console_summary",
+    "prometheus_text",
+    "span_records",
+    "validate_trace_records",
+    "write_trace_jsonl",
+]

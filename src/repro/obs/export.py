@@ -1,0 +1,225 @@
+"""Exporters: JSONL traces, Prometheus text, console summaries.
+
+Three consumers of the observability layer's data:
+
+* :func:`write_trace_jsonl` — one JSON object per span per line, the
+  stable machine-readable trace format (schema in
+  :data:`TRACE_RECORD_KEYS`; checked by :func:`validate_trace_records`).
+* :func:`prometheus_text` — the registry in Prometheus text exposition
+  format (version 0.0.4), ready for a scrape endpoint or a textfile
+  collector.
+* :func:`console_summary` — a human-readable span tree with durations
+  and a flamegraph-style bar per span showing its share of the root's
+  wall time.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .registry import Histogram, MetricsRegistry, get_registry
+from .trace import Span, Tracer
+
+__all__ = [
+    "TRACE_RECORD_KEYS",
+    "span_records",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "validate_trace_records",
+    "prometheus_text",
+    "console_summary",
+]
+
+#: Required keys of one JSONL trace record (the trace schema).
+TRACE_RECORD_KEYS = (
+    "name", "span_id", "parent_id", "start", "end", "duration", "attrs",
+)
+
+
+def span_records(source) -> list[dict]:
+    """Normalize a trace source to flat records.
+
+    Accepts a :class:`~repro.obs.trace.Tracer`, an iterable of
+    :class:`~repro.obs.trace.Span` roots, or pre-flattened records.
+    """
+    if isinstance(source, Tracer) or hasattr(source, "export"):
+        return source.export()
+    records: list[dict] = []
+    for item in source:
+        if isinstance(item, Span):
+            records.extend(span.to_record() for span in item.walk())
+        else:
+            records.append(item)
+    return records
+
+
+def write_trace_jsonl(source, path: str) -> int:
+    """Write a trace as JSON Lines; returns the number of spans."""
+    records = span_records(source)
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)
+
+
+def read_trace_jsonl(path: str) -> list[dict]:
+    """Load and validate a JSONL trace file."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    validate_trace_records(records)
+    return records
+
+
+def validate_trace_records(records: list[dict]) -> None:
+    """Check trace records against the schema; raises ``ValueError``.
+
+    Every record must carry exactly the :data:`TRACE_RECORD_KEYS`, ids
+    must be unique, and every non-null ``parent_id`` must resolve to a
+    span in the same trace (a single stitched tree has no dangling
+    edges — this is what the CI smoke job asserts for parallel runs).
+    """
+    seen_ids: set = set()
+    for index, record in enumerate(records):
+        missing = [key for key in TRACE_RECORD_KEYS if key not in record]
+        if missing:
+            raise ValueError(f"record {index} is missing keys {missing}")
+        if not isinstance(record["name"], str) or not record["name"]:
+            raise ValueError(f"record {index} has an empty name")
+        if record["span_id"] in seen_ids:
+            raise ValueError(f"duplicate span_id {record['span_id']}")
+        if not isinstance(record["attrs"], dict):
+            raise ValueError(f"record {index} attrs must be a dict")
+        if record["end"] is not None and record["end"] < record["start"]:
+            raise ValueError(f"record {index} ends before it starts")
+        seen_ids.add(record["span_id"])
+    for record in records:
+        parent = record["parent_id"]
+        if parent is not None and parent not in seen_ids:
+            raise ValueError(
+                f"span {record['span_id']} has dangling parent {parent}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(registry: MetricsRegistry | None = None) -> str:
+    """Render a registry in Prometheus text exposition format."""
+    reg = registry if registry is not None else get_registry()
+    lines: list[str] = []
+    for metric in reg.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for upper, cumulative in metric.cumulative():
+                lines.append(
+                    f'{metric.name}_bucket{{le="{_format_value(float(upper))}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(f'{metric.name}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{metric.name}_sum {_format_value(metric.sum)}")
+            lines.append(f"{metric.name}_count {metric.count}")
+        else:
+            lines.append(f"{metric.name} {_format_value(metric.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Console summary
+# ----------------------------------------------------------------------
+
+_BAR_WIDTH = 24
+
+
+def _tree_from_records(records: list[dict]) -> list[Span]:
+    spans = {
+        record["span_id"]: Span(
+            record["name"],
+            record["span_id"],
+            record["parent_id"],
+            record["start"],
+            record["end"],
+            dict(record.get("attrs") or {}),
+        )
+        for record in records
+    }
+    roots = []
+    for span in spans.values():
+        parent = spans.get(span.parent_id) if span.parent_id is not None else None
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            roots.append(span)
+    for span in spans.values():
+        span.children.sort(key=lambda child: child.start)
+    return sorted(roots, key=lambda root: root.start)
+
+
+def _summary_attrs(span: Span) -> str:
+    interesting = {
+        key: value
+        for key, value in span.attrs.items()
+        if isinstance(value, (int, str)) and not isinstance(value, bool)
+    }
+    if not interesting:
+        return ""
+    inner = ", ".join(f"{key}={value}" for key, value in
+                      sorted(interesting.items())[:4])
+    return f"  [{inner}]"
+
+
+def _render_span(span: Span, total: float, prefix: str, is_last: bool,
+                 lines: list[str], max_depth: int, depth: int) -> None:
+    share = span.duration / total if total > 0 else 0.0
+    bar = ("█" * max(1, round(min(share, 1.0) * _BAR_WIDTH))
+           if span.duration else "·")
+    connector = "" if not prefix and is_last is None else (
+        "└─ " if is_last else "├─ "
+    )
+    lines.append(
+        f"{prefix}{connector}{span.name}  {span.duration * 1000:9.3f} ms  "
+        f"{share * 100:5.1f}%  {bar}{_summary_attrs(span)}"
+    )
+    if depth >= max_depth:
+        if span.children:
+            child_prefix = prefix + ("   " if is_last in (True, None) else "│  ")
+            lines.append(
+                f"{child_prefix}└─ … {sum(1 for __ in span.walk()) - 1} "
+                "nested spans elided"
+            )
+        return
+    children = span.children
+    for index, child in enumerate(children):
+        child_prefix = prefix + ("   " if is_last in (True, None) else "│  ")
+        _render_span(child, total, child_prefix, index == len(children) - 1,
+                     lines, max_depth, depth + 1)
+
+
+def console_summary(source, max_depth: int = 3) -> str:
+    """Flamegraph-style phase breakdown of a trace, as plain text.
+
+    Each line shows a span's wall time and its share of the root span's
+    duration as a bar; nesting mirrors the span tree.  ``max_depth``
+    bounds the tree depth rendered (per-page events collapse into one
+    "elided" line) so the summary stays terminal-sized.
+    """
+    roots = _tree_from_records(span_records(source))
+    if not roots:
+        return "(empty trace)"
+    lines: list[str] = []
+    for root in roots:
+        _render_span(root, root.duration, "", None, lines, max_depth, 0)
+    return "\n".join(lines)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from ..core.metrics import JoinMetrics
 from ..errors import ParallelExecutionError
+from ..obs.trace import current_tracer
 from ..storage.pager import FileDiskManager
 from .executor import resolve_backend
 from .merge import merge_shard_pairs, merge_worker_metrics
@@ -63,6 +64,7 @@ def run_parallel_join(
     backend, fallback = resolve_backend(join.parallel_backend, len(shards))
     join._parallel_fallback_reason = fallback
 
+    tracer = current_tracer()
     file_source = _describe_file_source(join, parts_r, parts_s)
     specs = [
         _build_spec(join, parts_r, parts_s, shard, file_source)
@@ -77,6 +79,12 @@ def run_parallel_join(
                 f"(partitions {shard.partitions}) failed with "
                 f"{result.error_type}: {result.error}"
             )
+    # Stitch the workers' serialized span trees under the parent's
+    # current span (the joining phase), in shard order, so a k-way run
+    # yields one coherent tree with true per-shard wall times.
+    if tracer.enabled:
+        for result in sorted(results, key=lambda r: r.index):
+            tracer.adopt(result.spans)
     return merge_shard_pairs(results), merge_worker_metrics(results, template)
 
 
@@ -125,4 +133,6 @@ def _build_spec(join, parts_r, parts_s, shard, file_source) -> ShardSpec:
         inline_r=inline_r,
         inline_s=inline_s,
         fail_after=join._worker_fault_after,
+        index=shard.index,
+        trace=current_tracer().enabled,
     )

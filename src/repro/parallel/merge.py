@@ -49,10 +49,13 @@ def merge_worker_metrics(
     :meth:`JoinMetrics.merge` can verify the shares belong to the same
     join.  The returned record's ``joining`` phase holds summed worker
     seconds (total CPU-side work) and summed worker I/O; the engine
-    overwrites ``seconds`` with the parent's observed wall clock.
+    overwrites ``seconds`` with the parent's observed wall clock.  The
+    per-shard shares themselves survive on ``shard_joining`` (in shard
+    index order) instead of being discarded by the aggregation, so
+    per-worker wall times and I/O stay inspectable after the merge.
     """
     shares = []
-    for result in results:
+    for result in sorted(results, key=lambda r: r.index):
         share = JoinMetrics(
             algorithm=template.algorithm,
             num_partitions=template.num_partitions,
@@ -62,6 +65,8 @@ def merge_worker_metrics(
         )
         share.signature_comparisons = result.signature_comparisons
         share.candidates = len(result.pairs)
+        share.buffer_hits = result.buffer_hits
+        share.buffer_misses = result.buffer_misses
         share.joining = PhaseMetrics(
             result.seconds, result.page_reads, result.page_writes
         )
@@ -74,4 +79,6 @@ def merge_worker_metrics(
             s_size=template.s_size,
             signature_bits=template.signature_bits,
         )
-    return JoinMetrics.merge(shares)
+    merged = JoinMetrics.merge(shares)
+    merged.shard_joining = [share.joining for share in shares]
+    return merged

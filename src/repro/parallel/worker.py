@@ -73,6 +73,10 @@ class ShardSpec:
     inline_s: dict[int, list[tuple[int, int]]] = field(default_factory=dict)
     #: test hook: fail the worker's disk manager after N physical I/Os.
     fail_after: int | None = None
+    #: this shard's index in the schedule (labels spans and results).
+    index: int = 0
+    #: build a span tree in the worker and ship it back in the result.
+    trace: bool = False
 
 
 @dataclass
@@ -83,8 +87,15 @@ class ShardResult:
     signature_comparisons: int = 0
     page_reads: int = 0
     page_writes: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
     seconds: float = 0.0
     partitions: int = 0
+    index: int = 0
+    #: the worker's serialized span tree (plain dicts from
+    #: :meth:`repro.obs.trace.Tracer.export`); empty when tracing is off.
+    #: The parent stitches these under its joining-phase span.
+    spans: list[dict] = field(default_factory=list)
     #: set instead of raising so the failure crosses process boundaries
     #: as data; the executor re-raises it as ParallelExecutionError.
     error: str | None = None
@@ -129,39 +140,61 @@ def run_shard(spec: ShardSpec) -> ShardResult:
     regardless of backend.
     """
     from ..core.operator import compare_block
+    from ..obs.trace import NULL_TRACER, Tracer, use_tracer
 
-    result = ShardResult(partitions=len(spec.partitions))
+    result = ShardResult(partitions=len(spec.partitions), index=spec.index)
     started = time.perf_counter()
     disk = None
+    pool = None
+    tracer = Tracer() if spec.trace else NULL_TRACER
+    shard_span = tracer.start(
+        "shard", index=spec.index, partitions=len(spec.partitions)
+    )
     try:
-        parts_r = parts_s = None
-        if spec.file_source is not None:
-            disk, pool = _open_file_source(spec)
-            parts_r, parts_s = _attach_stores(spec, pool)
-        pairs: set[tuple[int, int]] = set()
-        for partition in spec.partitions:
-            r_side = spec.inline_r.get(partition, parts_r)
-            s_side = spec.inline_s.get(partition, parts_s)
-            if r_side is None or s_side is None:
-                raise ValueError(
-                    f"partition {partition} has neither a file source nor "
-                    "inline entries"
-                )
-            for block in _iter_r_blocks(
-                r_side, partition, spec.block_entries, spec.batch_portions
-            ):
-                result.signature_comparisons += compare_block(
-                    spec.engine,
-                    spec.signature_bits,
-                    block,
-                    _iter_s_batches(s_side, partition, spec.batch_portions),
-                    lambda r_tid, s_tid: pairs.add((r_tid, s_tid)),
-                )
-        result.pairs = sorted(pairs)
+        with use_tracer(tracer):
+            parts_r = parts_s = None
+            if spec.file_source is not None:
+                disk, pool = _open_file_source(spec)
+                parts_r, parts_s = _attach_stores(spec, pool)
+            pairs: set[tuple[int, int]] = set()
+            for partition in spec.partitions:
+                r_side = spec.inline_r.get(partition, parts_r)
+                s_side = spec.inline_s.get(partition, parts_s)
+                if r_side is None or s_side is None:
+                    raise ValueError(
+                        f"partition {partition} has neither a file source nor "
+                        "inline entries"
+                    )
+                with tracer.span(
+                    "join.partition", partition=partition
+                ) as partition_span:
+                    comparisons_before = result.signature_comparisons
+                    for block in _iter_r_blocks(
+                        r_side, partition, spec.block_entries,
+                        spec.batch_portions,
+                    ):
+                        result.signature_comparisons += compare_block(
+                            spec.engine,
+                            spec.signature_bits,
+                            block,
+                            _iter_s_batches(
+                                s_side, partition, spec.batch_portions
+                            ),
+                            lambda r_tid, s_tid: pairs.add((r_tid, s_tid)),
+                        )
+                    partition_span.set(
+                        comparisons=result.signature_comparisons
+                        - comparisons_before
+                    )
+            result.pairs = sorted(pairs)
     except Exception as error:  # noqa: BLE001 — shipped to the parent as data
         result.error = str(error)
         result.error_type = type(error).__name__
+        shard_span.set(error=str(error))
     finally:
+        if pool is not None:
+            result.buffer_hits = pool.stats.hits
+            result.buffer_misses = pool.stats.misses
         if disk is not None:
             result.page_reads = disk.stats.page_reads
             result.page_writes = disk.stats.page_writes
@@ -170,6 +203,15 @@ def run_shard(spec: ShardSpec) -> ShardResult:
             except Exception:  # noqa: BLE001 — injected faults may outlive the job
                 pass
     result.seconds = time.perf_counter() - started
+    shard_span.set(
+        pairs=len(result.pairs),
+        comparisons=result.signature_comparisons,
+        page_reads=result.page_reads,
+        buffer_hits=result.buffer_hits,
+        buffer_misses=result.buffer_misses,
+    )
+    tracer.finish(shard_span)
+    result.spans = tracer.export()
     return result
 
 

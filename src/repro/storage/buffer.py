@@ -15,6 +15,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..errors import BufferPoolError
+from ..obs.trace import current_tracer
 from .pager import DiskManager
 
 __all__ = ["BufferStats", "Frame", "BufferPool", "REPLACEMENT_POLICIES"]
@@ -35,6 +36,21 @@ class BufferStats:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def snapshot(self) -> "BufferStats":
+        """Return an independent copy of the current counters."""
+        return BufferStats(
+            self.hits, self.misses, self.evictions, self.dirty_writebacks
+        )
+
+    def delta(self, earlier: "BufferStats") -> "BufferStats":
+        """Return the counter increments since ``earlier``."""
+        return BufferStats(
+            self.hits - earlier.hits,
+            self.misses - earlier.misses,
+            self.evictions - earlier.evictions,
+            self.dirty_writebacks - earlier.dirty_writebacks,
+        )
 
 
 class Frame:
@@ -112,7 +128,14 @@ class BufferPool:
         else:
             self.stats.misses += 1
             self._make_room()
-            frame = Frame(page_id, self.disk.read_page(page_id))
+            # A miss is the interesting event (it is the disk read); a
+            # per-hit span would swamp any trace for no information.
+            tracer = current_tracer()
+            if tracer.enabled:
+                with tracer.span("buffer.miss", page_id=page_id):
+                    frame = Frame(page_id, self.disk.read_page(page_id))
+            else:
+                frame = Frame(page_id, self.disk.read_page(page_id))
             self._frames[page_id] = frame
         frame.pin_count += 1
         return frame

@@ -48,6 +48,8 @@ import zlib
 from typing import Callable
 
 from ..errors import WALError
+from ..obs.registry import get_registry
+from ..obs.trace import current_tracer
 from .pager import DiskManager
 
 __all__ = ["WriteAheadLog", "WALDiskManager", "WAL_MAGIC"]
@@ -89,6 +91,11 @@ class WriteAheadLog:
         self.page_size = page_size
         self.fsync = fsync
         self._io_hook = io_hook
+        # Cached registry handle: one dict lookup at construction, a
+        # plain attribute increment per fsync.
+        self._fsync_counter = get_registry().counter(
+            "setjoin_wal_fsyncs_total", "WAL fsync barriers issued"
+        )
         self._next_lsn = 1
         self._closed = False
         self._memory_log: list[bytes] | None = None
@@ -117,6 +124,7 @@ class WriteAheadLog:
             self._file.flush()
             if self.fsync:
                 os.fsync(self._file.fileno())
+                self._fsync_counter.inc()
 
     @property
     def size_bytes(self) -> int:
@@ -350,30 +358,43 @@ class WALDiskManager(DiskManager):
             self._free_snapshot = None
             self._committed_num_pages = self._num_pages_local
             return
-        # Until the COMMIT record is durable, failure leaves the
-        # transaction active and cleanly rollbackable.
-        if self.wal is not None:
-            lsns = self.wal.log_transaction(frames)  # the commit point
-        else:
-            lsns = {page_id: 0 for page_id in frames}
-        self._txn = None
-        self._free_snapshot = None
-        self._committed_num_pages = self._num_pages_local
-        # Checkpoint: idempotent redo of full page images.  A failure past
-        # the commit point wedges the manager -- the database file may be
-        # half-updated, but the WAL retains everything needed to finish
-        # the redo on the next open.
-        try:
-            for page_id in sorted(frames):
-                self._extend_inner_to(page_id)
-                self.inner.write_page(page_id, frames[page_id], lsns[page_id])
-            self.inner.flush()
-            if self.wal is not None:
-                self.wal.reset()
-        except BaseException:
-            if self.wal is not None:
-                self._wedged = True
-            raise
+        tracer = current_tracer()
+        with tracer.span(
+            "wal.commit",
+            pages=len(frames),
+            payload_bytes=sum(len(image) for image in frames.values()),
+        ):
+            # Until the COMMIT record is durable, failure leaves the
+            # transaction active and cleanly rollbackable.
+            with tracer.span("wal.log", pages=len(frames)):
+                if self.wal is not None:
+                    lsns = self.wal.log_transaction(frames)  # the commit point
+                else:
+                    lsns = {page_id: 0 for page_id in frames}
+            self._txn = None
+            self._free_snapshot = None
+            self._committed_num_pages = self._num_pages_local
+            get_registry().counter(
+                "setjoin_wal_commits_total", "Committed WAL transactions"
+            ).inc()
+            # Checkpoint: idempotent redo of full page images.  A failure past
+            # the commit point wedges the manager -- the database file may be
+            # half-updated, but the WAL retains everything needed to finish
+            # the redo on the next open.
+            try:
+                with tracer.span("wal.checkpoint", pages=len(frames)):
+                    for page_id in sorted(frames):
+                        self._extend_inner_to(page_id)
+                        self.inner.write_page(
+                            page_id, frames[page_id], lsns[page_id]
+                        )
+                    self.inner.flush()
+                    if self.wal is not None:
+                        self.wal.reset()
+            except BaseException:
+                if self.wal is not None:
+                    self._wedged = True
+                raise
 
     def rollback(self) -> None:
         """Discard all buffered writes and allocations of the transaction."""

@@ -1,0 +1,179 @@
+"""Tests for the trace/metrics exporters (repro.obs.export)."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    TRACE_RECORD_KEYS,
+    console_summary,
+    prometheus_text,
+    read_trace_jsonl,
+    span_records,
+    validate_trace_records,
+    write_trace_jsonl,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class FakeClock:
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def make_trace():
+    tracer = Tracer(clock=FakeClock(), wall=lambda: 1000.0)
+    with tracer.span("join", algorithm="PSJ"):
+        with tracer.span("phase.partition"):
+            pass
+        with tracer.span("phase.join"):
+            with tracer.span("join.partition", partition=0):
+                pass
+    return tracer
+
+
+class TestSpanRecords:
+    def test_accepts_tracer_spans_and_records(self):
+        tracer = make_trace()
+        from_tracer = span_records(tracer)
+        from_spans = span_records(tracer.roots)
+        from_records = span_records(from_tracer)
+        assert from_tracer == from_spans == from_records
+        assert [r["name"] for r in from_tracer] == [
+            "join", "phase.partition", "phase.join", "join.partition",
+        ]
+
+
+class TestJsonlRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        count = write_trace_jsonl(make_trace(), path)
+        assert count == 4
+        records = read_trace_jsonl(path)
+        assert len(records) == 4
+        for record in records:
+            assert sorted(record) == sorted(TRACE_RECORD_KEYS)
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(make_trace(), path)
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 4
+        assert all(isinstance(json.loads(line), dict) for line in lines)
+
+
+class TestValidation:
+    def good(self):
+        return span_records(make_trace())
+
+    def test_good_trace_passes(self):
+        validate_trace_records(self.good())
+
+    def test_missing_key(self):
+        records = self.good()
+        del records[0]["duration"]
+        with pytest.raises(ValueError, match="missing keys"):
+            validate_trace_records(records)
+
+    def test_duplicate_span_id(self):
+        records = self.good()
+        records[1]["span_id"] = records[0]["span_id"]
+        with pytest.raises(ValueError, match="duplicate span_id"):
+            validate_trace_records(records)
+
+    def test_dangling_parent(self):
+        records = self.good()
+        records[-1]["parent_id"] = 999
+        with pytest.raises(ValueError, match="dangling parent"):
+            validate_trace_records(records)
+
+    def test_end_before_start(self):
+        records = self.good()
+        records[0]["end"] = records[0]["start"] - 1
+        with pytest.raises(ValueError, match="ends before"):
+            validate_trace_records(records)
+
+    def test_empty_name(self):
+        records = self.good()
+        records[0]["name"] = ""
+        with pytest.raises(ValueError, match="empty name"):
+            validate_trace_records(records)
+
+    def test_attrs_must_be_dict(self):
+        records = self.good()
+        records[0]["attrs"] = []
+        with pytest.raises(ValueError, match="attrs"):
+            validate_trace_records(records)
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("setjoin_joins_total", "Completed joins").inc(3)
+        registry.gauge("setjoin_last_hit_rate").set(0.75)
+        text = prometheus_text(registry)
+        assert "# HELP setjoin_joins_total Completed joins\n" in text
+        assert "# TYPE setjoin_joins_total counter\n" in text
+        assert "\nsetjoin_joins_total 3\n" in text
+        assert "# TYPE setjoin_last_hit_rate gauge\n" in text
+        assert "setjoin_last_hit_rate 0.75" in text
+
+    def test_histogram_exposition(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(5.0)
+        text = prometheus_text(registry)
+        assert '# TYPE h_seconds histogram' in text
+        assert 'h_seconds_bucket{le="0.1"} 1' in text
+        assert 'h_seconds_bucket{le="1"} 1' in text
+        assert 'h_seconds_bucket{le="+Inf"} 2' in text
+        assert "h_seconds_sum 5.05" in text
+        assert "h_seconds_count 2" in text
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_integral_floats_render_without_exponent(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(1_000_000)
+        assert "c_total 1000000" in prometheus_text(registry)
+
+
+class TestConsoleSummary:
+    def test_shows_tree_with_shares(self):
+        text = console_summary(make_trace())
+        lines = text.splitlines()
+        assert lines[0].startswith("join")
+        assert "100.0%" in lines[0]
+        assert any("phase.partition" in line for line in lines)
+        assert any("join.partition" in line for line in lines)
+        assert "█" in text
+
+    def test_depth_limit_elides(self):
+        text = console_summary(make_trace(), max_depth=1)
+        assert "join.partition" not in text
+        assert "elided" in text
+
+    def test_empty_trace(self):
+        assert console_summary([]) == "(empty trace)"
+
+    def test_share_bar_is_clamped(self):
+        # Adopted spans can out-last the root (different wall clocks);
+        # the bar must not overflow its width.
+        tracer = Tracer(clock=FakeClock(), wall=lambda: 0.0)
+        with tracer.span("root"):
+            tracer.adopt([{
+                "name": "foreign", "span_id": 1, "parent_id": None,
+                "start": 0.0, "end": 500.0, "duration": 500.0, "attrs": {},
+            }])
+        for line in console_summary(tracer).splitlines():
+            assert line.count("█") <= 24

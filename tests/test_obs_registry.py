@@ -1,0 +1,169 @@
+"""Tests for the metrics registry (repro.obs.registry)."""
+
+import pytest
+
+from repro.core.metrics import JoinMetrics, PhaseMetrics
+from repro.errors import ConfigurationError
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    record_join,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c_total")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_rejects_negative(self):
+        counter = Counter("c_total")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10.0)
+        gauge.inc(2.5)
+        gauge.dec()
+        assert gauge.value == pytest.approx(11.5)
+
+
+class TestHistogram:
+    def test_observe_and_cumulative(self):
+        histogram = Histogram("h", buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 0.7, 3.0, 20.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(24.2)
+        assert histogram.cumulative() == [(1.0, 2), (5.0, 3), (10.0, 3)]
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 5.0))
+        histogram.observe(1.0)  # le="1.0" is inclusive
+        assert histogram.cumulative() == [(1.0, 1), (5.0, 1)]
+
+    def test_rejects_unsorted_or_empty_buckets(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=(5.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help text")
+        second = registry.counter("c_total")
+        assert first is second
+        assert second.help == "help text"
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("m")
+
+    def test_invalid_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.counter("bad name")
+        with pytest.raises(ConfigurationError):
+            registry.counter("0leading_digit")
+
+    def test_as_dict_expands_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.as_dict()
+        assert snapshot["c_total"] == 3
+        assert snapshot["g"] == 1.5
+        assert snapshot["h_sum"] == 0.5
+        assert snapshot["h_count"] == 1
+
+    def test_reset_zeroes_but_preserves_identity(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        gauge = registry.gauge("g")
+        histogram = registry.histogram("h", buckets=(1.0,))
+        counter.inc(7)
+        gauge.set(4.0)
+        histogram.observe(0.5)
+        registry.reset()
+        assert registry.counter("c_total") is counter
+        assert counter.value == 0
+        assert gauge.value == 0.0
+        assert histogram.count == 0 and histogram.sum == 0.0
+        assert histogram.bucket_counts == [0]
+        # Cached handles keep working after the reset.
+        counter.inc()
+        assert registry.counter("c_total").value == 1
+
+    def test_process_wide_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
+
+
+class TestRecordJoin:
+    def make_metrics(self):
+        metrics = JoinMetrics(
+            algorithm="DCJ", num_partitions=8, r_size=100, s_size=200,
+            signature_bits=64,
+        )
+        metrics.signature_comparisons = 5000
+        metrics.replicated_signatures = 300
+        metrics.candidates = 40
+        metrics.false_positives = 10
+        metrics.result_size = 30
+        metrics.buffer_hits = 90
+        metrics.buffer_misses = 10
+        metrics.partitioning = PhaseMetrics(0.5, 20, 15)
+        metrics.joining = PhaseMetrics(1.0, 5, 0)
+        metrics.verification = PhaseMetrics(0.25, 8, 0)
+        return metrics
+
+    def test_publishes_paper_accounting(self):
+        registry = MetricsRegistry()
+        record_join(self.make_metrics(), registry)
+        snapshot = registry.as_dict()
+        assert snapshot["setjoin_joins_total"] == 1
+        assert snapshot["setjoin_signature_comparisons_total"] == 5000
+        assert snapshot["setjoin_replicated_signatures_total"] == 300
+        assert snapshot["setjoin_candidates_total"] == 40
+        assert snapshot["setjoin_false_positives_total"] == 10
+        assert snapshot["setjoin_result_pairs_total"] == 30
+
+    def test_publishes_io_and_buffer_behaviour(self):
+        registry = MetricsRegistry()
+        record_join(self.make_metrics(), registry)
+        snapshot = registry.as_dict()
+        assert snapshot["setjoin_page_reads_total"] == 33
+        assert snapshot["setjoin_page_writes_total"] == 15
+        assert snapshot["setjoin_phase_partitioning_page_reads_total"] == 20
+        assert snapshot["setjoin_phase_joining_seconds_total"] == 1.0
+        assert snapshot["setjoin_buffer_hits_total"] == 90
+        assert snapshot["setjoin_buffer_misses_total"] == 10
+        assert snapshot["setjoin_last_buffer_hit_rate"] == pytest.approx(0.9)
+
+    def test_accumulates_across_joins(self):
+        registry = MetricsRegistry()
+        record_join(self.make_metrics(), registry)
+        record_join(self.make_metrics(), registry)
+        snapshot = registry.as_dict()
+        assert snapshot["setjoin_joins_total"] == 2
+        assert snapshot["setjoin_signature_comparisons_total"] == 10000
+        assert snapshot["setjoin_join_seconds_count"] == 2
+
+    def test_does_not_mutate_the_join_metrics(self):
+        registry = MetricsRegistry()
+        metrics = self.make_metrics()
+        record_join(metrics, registry)
+        assert metrics.signature_comparisons == 5000
+        assert metrics.joining.seconds == 1.0

@@ -1,0 +1,238 @@
+"""Tests for the span tracer (repro.obs.trace).
+
+Clocks are injected, so every duration below is deterministic: a fake
+monotonic clock advances by a fixed step per call, and a fake wall
+clock anchors the trace at a known epoch.
+"""
+
+import pickle
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
+
+
+class FakeClock:
+    """Monotonic clock advancing ``step`` seconds per call."""
+
+    def __init__(self, start=0.0, step=1.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def make_tracer(step=1.0, epoch=1000.0):
+    return Tracer(clock=FakeClock(step=step), wall=lambda: epoch)
+
+
+class TestSpanBasics:
+    def test_nesting_builds_a_tree(self):
+        tracer = make_tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert tracer.roots == [outer]
+        assert outer.children == [inner]
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_durations_come_from_injected_clock(self):
+        tracer = make_tracer(step=1.0)
+        # Clock reads: 0 at construction, 1 at start, 2 at inner start,
+        # 3 at inner finish, 4 at outer finish.
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.duration == pytest.approx(1.0)
+        assert outer.duration == pytest.approx(3.0)
+
+    def test_timestamps_are_epoch_anchored(self):
+        tracer = make_tracer(step=1.0, epoch=1000.0)
+        with tracer.span("s") as span:
+            pass
+        assert span.start == pytest.approx(1001.0)  # epoch + elapsed
+        assert span.end == pytest.approx(1002.0)
+
+    def test_attrs_via_kwargs_and_set(self):
+        tracer = make_tracer()
+        with tracer.span("s", k=8) as span:
+            span.set(results=3, algorithm="DCJ")
+        assert span.attrs == {"k": 8, "results": 3, "algorithm": "DCJ"}
+
+    def test_set_returns_span_for_chaining(self):
+        span = Span("s", 1, None, 0.0)
+        assert span.set(a=1) is span
+
+    def test_open_span_duration_is_zero(self):
+        tracer = make_tracer()
+        span = tracer.start("open")
+        assert span.duration == 0.0
+        tracer.finish(span)
+        assert span.duration > 0
+
+    def test_finish_closes_forgotten_children(self):
+        tracer = make_tracer()
+        outer = tracer.start("outer")
+        inner = tracer.start("inner")  # never finished explicitly
+        tracer.finish(outer)
+        assert inner.end is not None
+        assert outer.end is not None
+        assert tracer.current is None
+
+    def test_walk_is_depth_first(self):
+        tracer = make_tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        names = [span.name for span in tracer.roots[0].walk()]
+        assert names == ["a", "b", "c", "d"]
+
+    def test_sibling_roots(self):
+        tracer = make_tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+
+class TestExportAdopt:
+    def test_export_flattens_depth_first(self):
+        tracer = make_tracer()
+        with tracer.span("root", k=4):
+            with tracer.span("child"):
+                pass
+        records = tracer.export()
+        assert [r["name"] for r in records] == ["root", "child"]
+        assert records[0]["parent_id"] is None
+        assert records[1]["parent_id"] == records[0]["span_id"]
+        assert records[0]["attrs"] == {"k": 4}
+
+    def test_export_records_are_picklable(self):
+        tracer = make_tracer()
+        with tracer.span("root"):
+            pass
+        records = tracer.export()
+        assert pickle.loads(pickle.dumps(records)) == records
+
+    def test_adopt_grafts_under_current_span(self):
+        worker = make_tracer()
+        with worker.span("shard", index=0):
+            with worker.span("join.partition"):
+                pass
+        shipped = worker.export()
+
+        parent = make_tracer()
+        with parent.span("join") as root:
+            with parent.span("phase.join"):
+                tops = parent.adopt(shipped)
+        assert len(tops) == 1
+        phase = root.children[0]
+        shard = phase.children[0]
+        assert shard.name == "shard"
+        assert shard.parent_id == phase.span_id
+        assert shard.children[0].name == "join.partition"
+        assert shard.children[0].parent_id == shard.span_id
+
+    def test_adopt_rekeys_without_id_collisions(self):
+        worker = make_tracer()
+        with worker.span("shard"):
+            pass
+        parent = make_tracer()
+        with parent.span("join") as root:
+            parent.adopt(worker.export())
+        ids = [span.span_id for span in root.walk()]
+        assert len(ids) == len(set(ids))
+
+    def test_adopt_preserves_foreign_timings(self):
+        worker = make_tracer(epoch=5000.0)
+        with worker.span("shard") as shard:
+            pass
+        parent = make_tracer(epoch=1000.0)
+        with parent.span("join"):
+            (adopted,) = parent.adopt(worker.export())
+        assert adopted.start == shard.start
+        assert adopted.duration == pytest.approx(shard.duration)
+
+    def test_adopt_outside_any_span_makes_new_roots(self):
+        worker = make_tracer()
+        with worker.span("shard"):
+            pass
+        parent = make_tracer()
+        tops = parent.adopt(worker.export())
+        assert tops == parent.roots
+        assert tops[0].parent_id is None
+
+    def test_adopt_two_workers_yields_two_siblings(self):
+        shipped = []
+        for index in range(2):
+            worker = make_tracer()
+            with worker.span("shard", index=index):
+                pass
+            shipped.append(worker.export())
+        parent = make_tracer()
+        with parent.span("join") as root:
+            for records in shipped:
+                parent.adopt(records)
+        assert [c.attrs["index"] for c in root.children] == [0, 1]
+
+
+class TestAmbientTracer:
+    def test_default_is_null_tracer(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_tracer_installs_and_restores(self):
+        tracer = make_tracer()
+        with use_tracer(tracer) as installed:
+            assert installed is tracer
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_tracer_nests(self):
+        outer, inner = make_tracer(), make_tracer()
+        with use_tracer(outer):
+            with use_tracer(inner):
+                assert current_tracer() is inner
+            assert current_tracer() is outer
+
+    def test_use_tracer_restores_on_error(self):
+        tracer = make_tracer()
+        with pytest.raises(RuntimeError):
+            with use_tracer(tracer):
+                raise RuntimeError("boom")
+        assert current_tracer() is NULL_TRACER
+
+
+class TestNullTracer:
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert make_tracer().enabled is True
+
+    def test_null_span_is_shared_noop(self):
+        tracer = NullTracer()
+        with tracer.span("anything", k=8) as span:
+            assert span.set(a=1) is span
+        assert tracer.span("other") is span
+        assert span.attrs == {}
+        assert list(span.walk()) == []
+
+    def test_export_and_adopt_are_empty(self):
+        tracer = NullTracer()
+        assert tracer.export() == []
+        assert tracer.adopt([{"name": "x", "span_id": 1, "parent_id": None,
+                              "start": 0, "end": 1}]) == []
+        assert tracer.current is None
