@@ -12,6 +12,8 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYTHON) benchmarks/baseline.py --out BENCH_joins.json \
+		--check benchmarks/BENCH_seed.json --counters-only
 
 experiments:
 	$(PYTHON) -m repro.experiments --all --out results/
@@ -31,4 +33,4 @@ examples:
 
 clean:
 	rm -rf results/ build/ *.egg-info src/*.egg-info .pytest_cache \
-		.hypothesis __pycache__
+		.hypothesis __pycache__ BENCH_joins.json

@@ -30,9 +30,12 @@ from .core import (
     SetContainmentJoin,
     SetTuple,
     Testbed,
+    analyze_containment_join,
     bitwise_included,
     choose_plan,
+    containment_join,
     containment_pairs_nested_loop,
+    explain_containment_join,
     hybrid_join,
     naive_join,
     paper_example_family,
@@ -69,9 +72,12 @@ __all__ = [
     "SetContainmentJoin",
     "SetTuple",
     "Testbed",
+    "analyze_containment_join",
     "bitwise_included",
     "choose_plan",
+    "containment_join",
     "containment_pairs_nested_loop",
+    "explain_containment_join",
     "hybrid_join",
     "naive_join",
     "paper_example_family",

@@ -33,10 +33,12 @@ __all__ = [
     "comp_lsj",
     "repl_lsj",
     "dcj_replication_matrices",
+    "dcj_level_copies",
     "levels_of",
     "ALGORITHMS",
     "comparison_factor",
     "replication_factor",
+    "predict_quantities",
 ]
 
 ALGORITHMS = ("PSJ", "DCJ", "LSJ")
@@ -153,6 +155,32 @@ def dcj_replication_matrices(lam: float) -> tuple[np.ndarray, np.ndarray]:
     return m_r, m_s
 
 
+def dcj_level_copies(
+    levels: int, theta_r: float, theta_s: float
+) -> "list[tuple[float, float]]":
+    """Expected copies of one R- and one S-tuple after each DCJ level.
+
+    Entry ``i`` is ``(E[copies of an R-tuple], E[copies of an S-tuple])``
+    after ``i+1`` applications of the Table 7 transition matrices —
+    the per-level growth of the paper's ``y`` that the plan inspector
+    annotates the α/β operator tree with.
+    """
+    if levels < 1:
+        raise ConfigurationError(f"levels must be >= 1, got {levels}")
+    if theta_r <= 0 or theta_s <= 0:
+        raise ConfigurationError("set cardinalities must be positive")
+    m_r, m_s = dcj_replication_matrices(theta_s / theta_r)
+    ones = np.ones(2)
+    state_r = np.array([1.0, 0.0])
+    state_s = np.array([1.0, 0.0])
+    out = []
+    for __ in range(levels):
+        state_r = m_r @ state_r
+        state_s = m_s @ state_s
+        out.append((float(ones @ state_r), float(ones @ state_s)))
+    return out
+
+
 def repl_dcj(k: int, theta_r: float, theta_s: float, rho: float = 1.0) -> float:
     """DCJ replication factor via the Table 7 matrix-power form."""
     _check_common(k, theta_r, theta_s)
@@ -222,3 +250,33 @@ def replication_factor(
     if algorithm == "LSJ":
         return repl_lsj(k, theta_r, theta_s, rho)
     raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+
+
+def predict_quantities(
+    algorithm: str,
+    k: int,
+    theta_r: float,
+    theta_s: float,
+    r_size: int,
+    s_size: int,
+) -> dict:
+    """The analytical quantities the plan inspector and drift layer use.
+
+    Scales the Table 7 factors to absolute counts for a concrete input:
+    ``x = comp·|R|·|S|`` expected signature comparisons and
+    ``y = repl·(|R|+|S|)`` expected replicated signatures — the two
+    inputs of the Section 5 time formula.
+    """
+    if r_size < 1 or s_size < 1:
+        raise ConfigurationError("relation sizes must be >= 1")
+    rho = s_size / r_size
+    comp = comparison_factor(algorithm, k, theta_r, theta_s)
+    repl = replication_factor(algorithm, k, theta_r, theta_s, rho)
+    # float() collapses numpy scalars so the quantities stay JSON-able
+    # (drift records are persisted as JSONL).
+    return {
+        "comparison_factor": float(comp),
+        "replication_factor": float(repl),
+        "signature_comparisons": float(comp) * r_size * s_size,
+        "replicated_signatures": float(repl) * (r_size + s_size),
+    }

@@ -63,6 +63,36 @@ class TimeModel:
         """Predicted execution time in seconds."""
         return self.c1 * comparisons + self.c2 * replicated * k**self.c3
 
+    def predict_terms(
+        self, comparisons: float, replicated: float, k: int
+    ) -> tuple[float, float]:
+        """The two addends of the formula separately.
+
+        ``(c1·x, c2·y·k^c3)`` — the CPU (comparison) term and the
+        I/O-plus-fragmentation (replication) term.  The plan inspector
+        shows this split so a user can see *which* term the optimizer
+        expected to dominate.
+        """
+        return (
+            self.c1 * comparisons,
+            self.c2 * replicated * k**self.c3,
+        )
+
+    def relative_error(
+        self, comparisons: float, replicated: float, k: int, observed_seconds: float
+    ) -> float:
+        """Signed relative prediction error ``(observed − predicted) / observed``.
+
+        Positive means the run was slower than predicted.  The paper's
+        *average prediction error* is the mean of the absolute values.
+        """
+        if observed_seconds <= 0:
+            raise CalibrationError(
+                f"observed time must be positive, got {observed_seconds}"
+            )
+        predicted = self.predict(comparisons, replicated, k)
+        return (observed_seconds - predicted) / observed_seconds
+
     def predict_factors(
         self,
         comparison_factor: float,

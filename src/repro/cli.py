@@ -3,8 +3,10 @@
 Commands:
 
 * ``join``       -- run a set containment join over two set files
+                    (``--explain`` / ``--analyze`` for the plan inspector)
 * ``plan``       -- run the optimizer's 5-step selection procedure only
 * ``experiment`` -- regenerate one of the paper's figures/tables
+* ``serve``      -- expose process metrics over HTTP (Prometheus format)
 * ``demo``       -- the Section 2 worked example, end to end
 
 Set files are plain text: one set per line, whitespace-separated
@@ -35,34 +37,75 @@ def load_relation_file(path: str, name: str = "") -> Relation:
 def _cmd_join(arguments) -> int:
     lhs = load_relation_file(arguments.r_file, "R")
     rhs = load_relation_file(arguments.s_file, "S")
-    if arguments.algorithm == "auto":
-        plan = choose_plan(lhs, rhs, PAPER_TIME_MODEL)
-        partitioner = plan.build_partitioner()
-        print(f"# planned: {plan.algorithm} with k={plan.k}", file=sys.stderr)
-    else:
-        from .analysis.simulate import make_partitioner
+    algorithm = (
+        "auto" if arguments.algorithm == "auto"
+        else arguments.algorithm.upper()
+    )
+    if arguments.drift and not arguments.analyze:
+        print("error: --drift requires --analyze", file=sys.stderr)
+        return 2
 
-        partitioner = make_partitioner(
-            arguments.algorithm.upper(),
-            arguments.partitions,
-            lhs.average_cardinality() or 1.0,
-            rhs.average_cardinality() or 1.0,
+    if arguments.explain:
+        from .obs.explain import explain_join
+
+        report = explain_join(
+            lhs, rhs, algorithm, arguments.partitions,
+            signature_bits=arguments.signature_bits,
+            engine=arguments.engine,
+            workers=arguments.workers,
+            backend=arguments.parallel_backend,
         )
+        print(report.render())
+        return 0
+
     tracer = None
-    if arguments.trace:
+    if arguments.trace or arguments.trace_summary or arguments.analyze:
         from .obs import Tracer
 
         tracer = Tracer()
-    result, metrics = run_disk_join(
-        lhs, rhs, partitioner,
-        signature_bits=arguments.signature_bits,
-        engine=arguments.engine,
-        workers=arguments.workers,
-        backend=arguments.parallel_backend,
-        tracer=tracer,
-    )
-    for r_tid, s_tid in sorted(result):
-        print(f"{r_tid}\t{s_tid}")
+
+    if arguments.analyze:
+        from .obs.explain import analyze_join
+
+        analysis = analyze_join(
+            lhs, rhs, algorithm, arguments.partitions,
+            signature_bits=arguments.signature_bits,
+            engine=arguments.engine,
+            workers=arguments.workers,
+            backend=arguments.parallel_backend,
+            tracer=tracer,
+            drift_path=arguments.drift,
+        )
+        result, metrics = analysis.pairs, analysis.metrics
+        print(analysis.render())
+        if arguments.drift:
+            print(f"# drift record appended to {arguments.drift}",
+                  file=sys.stderr)
+    else:
+        if algorithm == "auto":
+            plan = choose_plan(lhs, rhs, PAPER_TIME_MODEL)
+            partitioner = plan.build_partitioner()
+            print(f"# planned: {plan.algorithm} with k={plan.k}",
+                  file=sys.stderr)
+        else:
+            from .analysis.simulate import make_partitioner
+
+            partitioner = make_partitioner(
+                algorithm,
+                arguments.partitions,
+                lhs.average_cardinality() or 1.0,
+                rhs.average_cardinality() or 1.0,
+            )
+        result, metrics = run_disk_join(
+            lhs, rhs, partitioner,
+            signature_bits=arguments.signature_bits,
+            engine=arguments.engine,
+            workers=arguments.workers,
+            backend=arguments.parallel_backend,
+            tracer=tracer,
+        )
+        for r_tid, s_tid in sorted(result):
+            print(f"{r_tid}\t{s_tid}")
     parallel_note = ""
     if arguments.workers > 1:
         parallel_note = (
@@ -75,20 +118,34 @@ def _cmd_join(arguments) -> int:
         f"{metrics.total_seconds:.3f}s{parallel_note}",
         file=sys.stderr,
     )
-    if tracer is not None:
-        from .obs import console_summary, write_trace_jsonl
+    if tracer is not None and arguments.trace:
+        from .obs import write_trace_jsonl
 
         spans = write_trace_jsonl(tracer, arguments.trace)
         print(f"# trace: {spans} spans written to {arguments.trace}",
               file=sys.stderr)
-        print(console_summary(tracer), file=sys.stderr)
-    if arguments.metrics:
-        from .obs import get_registry, prometheus_text, record_join
+    if arguments.trace or arguments.trace_summary or arguments.metrics:
+        # Record before the summary prints, so the session latency
+        # percentiles include the join that just ran.
+        from .obs import record_join
 
         record_join(metrics)
-        with open(arguments.metrics, "w") as handle:
-            handle.write(prometheus_text(get_registry()))
-        print(f"# metrics written to {arguments.metrics}", file=sys.stderr)
+    if tracer is not None and (arguments.trace or arguments.trace_summary):
+        from .obs import console_summary, get_registry
+
+        print(console_summary(tracer, registry=get_registry()),
+              file=sys.stderr)
+    if arguments.metrics:
+        from .obs import get_registry, prometheus_text
+
+        text = prometheus_text(get_registry())
+        if arguments.metrics == "-":
+            print(text, end="")
+        else:
+            with open(arguments.metrics, "w") as handle:
+                handle.write(text)
+            print(f"# metrics written to {arguments.metrics}",
+                  file=sys.stderr)
     return 0
 
 
@@ -163,70 +220,113 @@ def _cmd_generate(arguments) -> int:
     return 0
 
 
+def _wait_forever() -> None:
+    import threading
+
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+
+
+def _cmd_serve(arguments) -> int:
+    from .obs.serve import MetricsServer
+
+    server = MetricsServer(arguments.host, arguments.port).start()
+    print(f"serving {server.url}/metrics and {server.url}/healthz "
+          "(Ctrl-C to stop)", file=sys.stderr)
+    try:
+        _wait_forever()
+    finally:
+        server.stop()
+    return 0
+
+
 def _cmd_db(arguments) -> int:
     from .database import SetJoinDatabase
 
-    with SetJoinDatabase.open(arguments.database) as db:
-        if arguments.action == "list":
-            for name in db.relation_names():
-                print(f"{name}\t{db.relation_size(name)} tuples")
-            return 0
-        if arguments.action == "load":
-            if len(arguments.args) != 2:
-                print("usage: setjoins db FILE load NAME SETFILE",
-                      file=sys.stderr)
-                return 2
-            name, set_file = arguments.args
-            relation = load_relation_file(set_file, name)
-            count = db.create_relation(name, relation)
-            print(f"loaded {count} tuples into {name!r}")
-            return 0
-        if arguments.action == "drop":
-            if len(arguments.args) != 1:
-                print("usage: setjoins db FILE drop NAME", file=sys.stderr)
-                return 2
-            db.drop_relation(arguments.args[0])
-            print(f"dropped {arguments.args[0]!r}")
-            return 0
-        if arguments.action == "explain":
-            if len(arguments.args) != 2:
-                print("usage: setjoins db FILE explain R S", file=sys.stderr)
-                return 2
-            print(db.explain(*arguments.args))
-            return 0
-        if arguments.action == "join":
-            if len(arguments.args) != 2:
-                print("usage: setjoins db FILE join R S", file=sys.stderr)
-                return 2
-            pairs, metrics = db.join(*arguments.args)
-            for r_tid, s_tid in sorted(pairs):
-                print(f"{r_tid}\t{s_tid}")
-            print(f"# {len(pairs)} pairs in {metrics.total_seconds:.3f}s "
-                  f"({metrics.algorithm}, k={metrics.num_partitions})",
-                  file=sys.stderr)
-            return 0
-        if arguments.action == "stats":
-            for key, value in db.stats().items():
-                if isinstance(value, float):
-                    print(f"{key}\t{value:.4f}")
-                else:
-                    print(f"{key}\t{value}")
-            return 0
-        if arguments.action == "verify":
-            from .errors import StorageError
+    server = None
+    if arguments.serve:
+        from .obs.serve import MetricsServer
 
-            try:
-                report = db.verify_integrity()
-            except StorageError as error:
-                print(f"INTEGRITY FAILURE: {error}", file=sys.stderr)
-                return 1
-            print(f"ok: {report['relations']} relations, "
-                  f"{report['tuples']} tuples, "
-                  f"{report['pages_read']} pages read, "
-                  f"all checksums valid")
-            return 0
-        print(f"unknown db action {arguments.action!r}", file=sys.stderr)
-        return 2
+        server = MetricsServer(arguments.host, arguments.port).start()
+        print(f"# serving {server.url}/metrics", file=sys.stderr)
+    try:
+        with SetJoinDatabase.open(arguments.database) as db:
+            status = _run_db_action(db, arguments)
+        if server is not None and status == 0:
+            print("# action done; still serving metrics (Ctrl-C to stop)",
+                  file=sys.stderr)
+            _wait_forever()
+        return status
+    finally:
+        if server is not None:
+            server.stop()
+
+
+def _run_db_action(db, arguments) -> int:
+    if arguments.action == "list":
+        for name in db.relation_names():
+            print(f"{name}\t{db.relation_size(name)} tuples")
+        return 0
+    if arguments.action == "load":
+        if len(arguments.args) != 2:
+            print("usage: setjoins db FILE load NAME SETFILE",
+                  file=sys.stderr)
+            return 2
+        name, set_file = arguments.args
+        relation = load_relation_file(set_file, name)
+        count = db.create_relation(name, relation)
+        print(f"loaded {count} tuples into {name!r}")
+        return 0
+    if arguments.action == "drop":
+        if len(arguments.args) != 1:
+            print("usage: setjoins db FILE drop NAME", file=sys.stderr)
+            return 2
+        db.drop_relation(arguments.args[0])
+        print(f"dropped {arguments.args[0]!r}")
+        return 0
+    if arguments.action == "explain":
+        if len(arguments.args) != 2:
+            print("usage: setjoins db FILE explain R S", file=sys.stderr)
+            return 2
+        print(db.explain(*arguments.args))
+        print()
+        print(db.explain_plan(*arguments.args).render())
+        return 0
+    if arguments.action == "join":
+        if len(arguments.args) != 2:
+            print("usage: setjoins db FILE join R S", file=sys.stderr)
+            return 2
+        pairs, metrics = db.join(*arguments.args)
+        for r_tid, s_tid in sorted(pairs):
+            print(f"{r_tid}\t{s_tid}")
+        print(f"# {len(pairs)} pairs in {metrics.total_seconds:.3f}s "
+              f"({metrics.algorithm}, k={metrics.num_partitions})",
+              file=sys.stderr)
+        return 0
+    if arguments.action == "stats":
+        for key, value in db.stats().items():
+            if isinstance(value, float):
+                print(f"{key}\t{value:.4f}")
+            else:
+                print(f"{key}\t{value}")
+        return 0
+    if arguments.action == "verify":
+        from .errors import StorageError
+
+        try:
+            report = db.verify_integrity()
+        except StorageError as error:
+            print(f"INTEGRITY FAILURE: {error}", file=sys.stderr)
+            return 1
+        print(f"ok: {report['relations']} relations, "
+              f"{report['tuples']} tuples, "
+              f"{report['pages_read']} pages read, "
+              f"all checksums valid")
+        return 0
+    print(f"unknown db action {arguments.action!r}", file=sys.stderr)
+    return 2
 
 
 def _cmd_stats(arguments) -> int:
@@ -267,7 +367,7 @@ def _cmd_demo(arguments) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="setjoins",
         description="Set containment joins (DCJ/PSJ/LSJ reproduction).",
@@ -295,13 +395,34 @@ def main(argv: list[str] | None = None) -> int:
         "falls back to serial where unavailable)",
     )
     join.add_argument(
+        "--explain", action="store_true",
+        help="print the predicted plan tree (analytical x/y/page/time "
+        "annotations; for DCJ the α/β operator tree) without executing",
+    )
+    join.add_argument(
+        "--analyze", action="store_true",
+        help="execute the join and print the plan tree annotated with "
+        "observed values and per-node relative prediction errors",
+    )
+    join.add_argument(
+        "--drift", metavar="PATH", default=None,
+        help="with --analyze: append the predicted-vs-observed drift "
+        "record to PATH (JSON Lines)",
+    )
+    join.add_argument(
         "--trace", metavar="PATH", default=None,
         help="record a span trace of the run to PATH (JSON Lines) and "
         "print a phase breakdown to stderr",
     )
     join.add_argument(
-        "--metrics", metavar="PATH", default=None,
-        help="write Prometheus text-format metrics for the run to PATH",
+        "--trace-summary", action="store_true",
+        help="print the flamegraph-style phase breakdown to stderr "
+        "after the join (no trace file needed)",
+    )
+    join.add_argument(
+        "--metrics", metavar="PATH", nargs="?", const="-", default=None,
+        help="write Prometheus text-format metrics for the run to PATH "
+        "(no PATH or '-': print to stdout)",
     )
     join.set_defaults(handler=_cmd_join)
 
@@ -357,7 +478,24 @@ def main(argv: list[str] | None = None) -> int:
         choices=["list", "load", "drop", "explain", "join", "verify", "stats"],
     )
     database.add_argument("args", nargs="*", help="action arguments")
+    database.add_argument(
+        "--serve", action="store_true",
+        help="expose /metrics and /healthz over HTTP while (and after) "
+        "the action runs; Ctrl-C to stop",
+    )
+    database.add_argument("--host", default="127.0.0.1",
+                          help="bind address for --serve")
+    database.add_argument("--port", type=int, default=9464,
+                          help="bind port for --serve (0 = ephemeral)")
     database.set_defaults(handler=_cmd_db)
+
+    serve = commands.add_parser(
+        "serve", help="serve process metrics over HTTP (Prometheus format)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9464,
+                       help="bind port (default 9464; 0 = ephemeral)")
+    serve.set_defaults(handler=_cmd_serve)
 
     stats = commands.add_parser("stats", help="summarize set files")
     stats.add_argument("files", nargs="+", help="one or two set files")
@@ -368,7 +506,11 @@ def main(argv: list[str] | None = None) -> int:
     demo = commands.add_parser("demo", help="the Section 2 worked example")
     demo.set_defaults(handler=_cmd_demo)
 
-    arguments = parser.parse_args(argv)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = build_parser().parse_args(argv)
     try:
         return arguments.handler(arguments)
     except SetJoinError as error:
@@ -377,6 +519,9 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited; not an error.
+        return 0
 
 
 if __name__ == "__main__":

@@ -1,7 +1,9 @@
 """Core library: signatures, hash families, partitioners, join operators."""
 
 from .api import (
+    analyze_containment_join,
     containment_join,
+    explain_containment_join,
     overlap_join,
     self_containment_join,
     set_equality_join,
@@ -55,7 +57,9 @@ from .signatures import (
 )
 
 __all__ = [
+    "analyze_containment_join",
     "containment_join",
+    "explain_containment_join",
     "self_containment_join",
     "overlap_join",
     "set_equality_join",

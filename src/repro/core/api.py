@@ -34,6 +34,8 @@ __all__ = [
     "superset_join",
     "set_equality_join",
     "overlap_join",
+    "explain_containment_join",
+    "analyze_containment_join",
 ]
 
 _ALGORITHMS = ("auto", "DCJ", "PSJ", "LSJ")
@@ -93,6 +95,31 @@ def containment_join(
         lhs, rhs, partitioner, signature_bits=signature_bits,
         workers=workers, backend=backend, tracer=tracer,
     )
+
+
+def explain_containment_join(lhs: Relation, rhs: Relation, **kwargs):
+    """EXPLAIN a containment join: the predicted plan, nothing executed.
+
+    Delegates to :func:`repro.obs.explain.explain_join` (imported lazily;
+    the inspector depends on this package).  Returns an
+    :class:`~repro.obs.explain.ExplainReport`.
+    """
+    from ..obs.explain import explain_join
+
+    return explain_join(lhs, rhs, **kwargs)
+
+
+def analyze_containment_join(lhs: Relation, rhs: Relation, **kwargs):
+    """EXPLAIN ANALYZE a containment join: run it (results bit-identical
+    to :func:`containment_join`), annotate the plan with observations.
+
+    Delegates to :func:`repro.obs.explain.analyze_join`; returns an
+    :class:`~repro.obs.explain.AnalyzeResult` carrying the report, the
+    result pairs, the metrics, and the recorded drift.
+    """
+    from ..obs.explain import analyze_join
+
+    return analyze_join(lhs, rhs, **kwargs)
 
 
 def superset_join(

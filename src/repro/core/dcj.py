@@ -174,6 +174,46 @@ class DCJPartitioner(Partitioner):
             "beta_replications": 0,
         }
 
+    def operator_nodes(self, max_levels: int | None = None):
+        """The α/β operator tree as flat node descriptions, breadth-first.
+
+        Each node dict carries:
+
+        * ``path`` — the root-to-node bit string (top child = ``"1"``,
+          bottom = ``"0"``; the root's path is ``""``),
+        * ``level`` — 0-based tree level (= which repartitioning step),
+        * ``op`` — ``"α"`` or ``"β"``,
+        * ``function`` — the monotone hash function this node applies
+          (``"h1"`` routes level 0, as in the paper's Tables 1–4).
+
+        ``max_levels`` bounds the depth (the full tree has ``2^l − 1``
+        nodes); the plan inspector renders the first few levels and
+        elides the rest.
+        """
+        limit = self.num_levels if max_levels is None else min(
+            max_levels, self.num_levels
+        )
+        root_op = _ALPHA if self.pattern != "beta" else _BETA
+        nodes = []
+        frontier = [("", root_op)]
+        for level in range(limit):
+            next_frontier = []
+            for path, op in frontier:
+                nodes.append({
+                    "path": path,
+                    "level": level,
+                    "op": "α" if op == _ALPHA else "β",
+                    "function": f"h{level + 1}",
+                })
+                if level + 1 < limit:
+                    for went_top in (True, False):
+                        next_frontier.append((
+                            path + ("1" if went_top else "0"),
+                            _child_op(op, went_top, self.pattern),
+                        ))
+            frontier = next_frontier
+        return nodes
+
     def assign_r(self, elements: frozenset[int]) -> list[int]:
         return self._route(self.family.evaluate(elements), is_r_side=True)
 

@@ -507,6 +507,7 @@ class SetContainmentJoin:
                 time.perf_counter() - started, disk.stats.delta(before)
             )
             span.set(
+                comparisons=metrics.signature_comparisons,
                 candidates=metrics.candidates,
                 page_reads=metrics.joining.page_reads,
                 page_writes=metrics.joining.page_writes,
@@ -560,6 +561,7 @@ class SetContainmentJoin:
             metrics.shard_joining = worker_metrics.shard_joining
             span.set(
                 shards=len(metrics.shard_joining),
+                comparisons=metrics.signature_comparisons,
                 candidates=metrics.candidates,
                 page_reads=metrics.joining.page_reads,
                 page_writes=metrics.joining.page_writes,

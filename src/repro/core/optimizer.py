@@ -21,7 +21,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..analysis.factors import comparison_factor, replication_factor
+from ..analysis.factors import (
+    comparison_factor,
+    predict_quantities,
+    replication_factor,
+)
 from ..analysis.timemodel import TimeModel
 from ..errors import ConfigurationError
 from .dcj import DCJPartitioner
@@ -88,6 +92,37 @@ class JoinPlan:
             for plan in contenders
         ))
         return "\n".join(lines)
+
+    def prediction(
+        self, model: TimeModel, algorithm: str | None = None, k: int | None = None
+    ) -> dict:
+        """The analytical prediction behind one (algorithm, k) choice.
+
+        Defaults to the chosen plan; pass ``algorithm``/``k`` to inspect
+        a road not taken.  Returns the absolute model quantities (x, y),
+        the underlying factors, and the predicted seconds split into the
+        time formula's CPU and replication terms — exactly what EXPLAIN
+        prints and what the drift layer later compares against observed
+        values.
+        """
+        algorithm = algorithm if algorithm is not None else self.algorithm
+        k = k if k is not None else self.k
+        quantities = predict_quantities(
+            algorithm, k, self.theta_r, self.theta_s, self.r_size, self.s_size
+        )
+        cpu_seconds, repl_seconds = model.predict_terms(
+            quantities["signature_comparisons"],
+            quantities["replicated_signatures"],
+            k,
+        )
+        quantities.update(
+            algorithm=algorithm,
+            k=k,
+            seconds=cpu_seconds + repl_seconds,
+            cpu_seconds=cpu_seconds,
+            replication_seconds=repl_seconds,
+        )
+        return quantities
 
     def build_partitioner(self, seed: int = 0, family_kind: str = "bitstring") -> Partitioner:
         """Instantiate the chosen algorithm at the chosen k."""

@@ -225,6 +225,57 @@ class SetJoinDatabase:
         """EXPLAIN text for the join of two stored relations."""
         return self.plan(r_name, s_name).explain()
 
+    def explain_plan(
+        self,
+        r_name: str,
+        s_name: str,
+        algorithm: str = "auto",
+        num_partitions: int | None = None,
+        signature_bits: int = DEFAULT_SIGNATURE_BITS,
+        engine: str = "numpy",
+        seed: int = 0,
+    ):
+        """The annotated predicted plan tree for a join of stored relations.
+
+        Like :meth:`explain` but through the plan inspector
+        (:mod:`repro.obs.explain`): the phase tree with the analytical
+        x/y/page/time predictions and, for DCJ, the α/β operator tree.
+        Returns an :class:`~repro.obs.explain.ExplainReport` (call
+        ``.render()`` for text).  Nothing is executed.
+        """
+        from .obs.explain import build_plan_from_statistics
+
+        self._check_open()
+        r_size, theta_r = self._statistics(r_name)
+        s_size, theta_s = self._statistics(s_name, seed=1)
+        if algorithm == "auto":
+            plan = plan_from_statistics(
+                r_size, s_size, theta_r, theta_s, self.model
+            )
+            algorithm, k = plan.algorithm, plan.k
+            partitioner = plan.build_partitioner(seed=seed)
+        else:
+            from .core.modulo import dcj_with_any_k, lsj_with_any_k
+            from .core.psj import PSJPartitioner
+
+            k = num_partitions or 32
+            theta_r = max(theta_r, 1.0)
+            theta_s = max(theta_s, 1.0)
+            if algorithm == "PSJ":
+                partitioner = PSJPartitioner(k, seed=seed)
+            elif algorithm == "DCJ":
+                partitioner = dcj_with_any_k(k, theta_r, theta_s)
+            elif algorithm == "LSJ":
+                partitioner = lsj_with_any_k(k, theta_r, theta_s)
+            else:
+                raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+        return build_plan_from_statistics(
+            algorithm, k, r_size, s_size, max(theta_r, 1e-9),
+            max(theta_s, 1e-9), self.model, partitioner=partitioner,
+            signature_bits=signature_bits, engine=engine,
+            page_size=self.disk.page_size,
+        )
+
     def join(
         self,
         r_name: str,
@@ -269,7 +320,13 @@ class SetJoinDatabase:
             testbed, partitioner, signature_bits=signature_bits,
             engine=engine, tracer=tracer,
         )
-        return join.run(cold_cache=False)
+        pairs, metrics = join.run(cold_cache=False)
+        # Publish to the process registry so long-lived sessions (and the
+        # /metrics endpoint) accumulate join latency/work series.
+        from .obs.registry import record_join
+
+        record_join(metrics)
+        return pairs, metrics
 
     # ------------------------------------------------------------------
     # Observability
@@ -301,6 +358,14 @@ class SetJoinDatabase:
         }
         if isinstance(self.disk, WALDiskManager) and self.disk.wal is not None:
             out["wal_bytes"] = self.disk.wal.size_bytes
+        from .obs.registry import get_registry
+
+        latency = get_registry().get("setjoin_join_seconds")
+        if latency is not None and latency.count:
+            out["joins_recorded"] = latency.count
+            out["join_latency_p50"] = latency.percentile(0.50)
+            out["join_latency_p95"] = latency.percentile(0.95)
+            out["join_latency_p99"] = latency.percentile(0.99)
         return out
 
     # ------------------------------------------------------------------

@@ -82,9 +82,25 @@ def run(grid=DEFAULT_GRID, k_values=DEFAULT_K_VALUES, seed: int = 11,
         "Average prediction error 15.4% over 114 points "
         f"[measured {error:.1%} over {len(samples)} points]",
     ]
+    from ..obs.drift import calibration_residuals
+
+    signed = [
+        row["relative_error"]
+        for row in calibration_residuals(model, samples)
+        if row["relative_error"] is not None
+    ]
+    bias = sum(signed) / len(signed)
+    result.check(
+        "residuals are centred (|mean signed error| ≤ 15%): the relative "
+        "least-squares fit should not systematically under- or over-predict",
+        abs(bias) <= 0.15,
+    )
     result.notes = [
         "Constants are hardware-specific by design; only the functional "
         "form and the achievable error transfer between systems.",
+        f"Residual drift at calibration time: bias {bias:+.1%} (mean "
+        f"signed error), worst point {max(abs(e) for e in signed):.1%}; "
+        "per-point residuals via repro.obs.drift.calibration_residuals().",
     ]
     return result
 

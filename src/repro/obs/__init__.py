@@ -16,6 +16,14 @@ cross-cutting layer the rest of the system reports through:
 * :mod:`.export` — exporters: JSONL trace files, Prometheus text
   format, and a human-readable console summary with a flamegraph-style
   phase breakdown.
+* :mod:`.explain` — the EXPLAIN/ANALYZE plan inspector: predicted plan
+  trees (for DCJ, the actual α/β operator tree) annotated with the
+  analytical model, and — in ANALYZE mode — with the observed values
+  and per-node relative errors.
+* :mod:`.drift` — predicted-vs-observed drift records, published to the
+  registry and persisted as JSONL, so time-model staleness is visible.
+* :mod:`.serve` — a stdlib HTTP endpoint (``/metrics``, ``/healthz``)
+  serving the registry in Prometheus text format.
 
 Tracing is opt-in and free when off: the ambient tracer defaults to
 :data:`~repro.obs.trace.NULL_TRACER`, whose spans are shared no-op
@@ -32,6 +40,28 @@ from .export import (
     write_trace_jsonl,
 )
 
+# The inspector/drift/serve modules import core and analysis code, while
+# repro.core.operator imports this package for its registry and tracer —
+# so they must load lazily (PEP 562) to keep the import graph acyclic.
+_LAZY = {
+    "PlanNode": "explain",
+    "ExplainReport": "explain",
+    "AnalyzeResult": "explain",
+    "build_plan_from_statistics": "explain",
+    "attach_observed": "explain",
+    "explain_join": "explain",
+    "analyze_join": "explain",
+    "DriftRecord": "drift",
+    "compute_drift": "drift",
+    "record_drift": "drift",
+    "append_drift_jsonl": "drift",
+    "read_drift_jsonl": "drift",
+    "summarize_drift": "drift",
+    "calibration_residuals": "drift",
+    "MetricsServer": "serve",
+    "serve_metrics": "serve",
+}
+
 __all__ = [
     "MetricsRegistry",
     "get_registry",
@@ -46,4 +76,17 @@ __all__ = [
     "span_records",
     "validate_trace_records",
     "write_trace_jsonl",
+    *sorted(_LAZY),
 ]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -208,13 +208,18 @@ def _render_span(span: Span, total: float, prefix: str, is_last: bool,
                      lines, max_depth, depth + 1)
 
 
-def console_summary(source, max_depth: int = 3) -> str:
+def console_summary(source, max_depth: int = 3, registry=None) -> str:
     """Flamegraph-style phase breakdown of a trace, as plain text.
 
     Each line shows a span's wall time and its share of the root span's
     duration as a bar; nesting mirrors the span tree.  ``max_depth``
     bounds the tree depth rendered (per-page events collapse into one
     "elided" line) so the summary stays terminal-sized.
+
+    Passing a ``registry`` appends a footer with the process's join
+    latency percentiles (p50/p95/p99 of the ``setjoin_join_seconds``
+    histogram), so a CLI summary shows the session context the single
+    trace sits in.
     """
     roots = _tree_from_records(span_records(source))
     if not roots:
@@ -222,4 +227,14 @@ def console_summary(source, max_depth: int = 3) -> str:
     lines: list[str] = []
     for root in roots:
         _render_span(root, root.duration, "", None, lines, max_depth, 0)
+    if registry is not None:
+        latency = registry.get("setjoin_join_seconds")
+        if latency is not None and latency.count:
+            quantiles = "  ".join(
+                f"p{int(q * 100)}={latency.percentile(q) * 1000:.1f}ms"
+                for q in (0.50, 0.95, 0.99)
+            )
+            lines.append(
+                f"session join latency ({latency.count} joins): {quantiles}"
+            )
     return "\n".join(lines)

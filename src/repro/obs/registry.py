@@ -120,6 +120,32 @@ class Histogram:
             out.append((upper, total))
         return out
 
+    def percentile(self, q: float) -> "float | None":
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Linear interpolation within the owning bucket, the same estimate
+        ``histogram_quantile`` computes from cumulative buckets.  Values
+        beyond the last finite bucket clamp to its upper bound (all that
+        is known about them), and ``None`` is returned when the
+        histogram has no observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"percentile q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for upper, bucket_count in zip(self.buckets, self.bucket_counts):
+            if bucket_count and cumulative + bucket_count >= rank:
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (upper - lower) * max(0.0, min(fraction, 1.0))
+            cumulative += bucket_count
+            lower = upper
+        # rank falls in the overflow (+Inf) bucket: clamp to the last
+        # finite bound, as Prometheus does.
+        return float(self.buckets[-1])
+
     def _reset(self) -> None:
         self.bucket_counts = [0] * len(self.buckets)
         self.sum = 0.0

@@ -1,0 +1,139 @@
+"""Live metrics endpoint: a stdlib HTTP server exposing the registry.
+
+A tiny, dependency-free scrape target so a long-lived join session (the
+CLI's ``repro serve``, or ``repro db --serve``) can be watched with a
+standard Prometheus/Grafana stack:
+
+* ``GET /metrics`` — the process registry in Prometheus text exposition
+  format (:func:`repro.obs.export.prometheus_text`);
+* ``GET /healthz`` — liveness probe, a small JSON document;
+* anything else — 404.
+
+:class:`MetricsServer` runs on a daemon thread (``start()``) so it never
+blocks or outlives the process; ``port=0`` binds an ephemeral port
+(tests use this).  The handler reads the registry snapshot at request
+time — there is no caching — so a scrape immediately after a join sees
+its metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import ConfigurationError
+
+__all__ = ["MetricsServer", "serve_metrics"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "setjoin-metrics/1.0"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path.split("?", 1)[0] == "/metrics":
+            from .export import prometheus_text
+
+            body = prometheus_text(self.server.registry).encode()
+            self._reply(200, "text/plain; version=0.0.4; charset=utf-8", body)
+        elif self.path.split("?", 1)[0] == "/healthz":
+            body = json.dumps(
+                {"status": "ok", "service": "setjoin"}
+            ).encode()
+            self._reply(200, "application/json", body)
+        else:
+            body = json.dumps(
+                {"error": "not found", "endpoints": ["/metrics", "/healthz"]}
+            ).encode()
+            self._reply(404, "application/json", body)
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        # Quiet by default; the CLI decides what to print.
+        pass
+
+
+class MetricsServer:
+    """A `/metrics` + `/healthz` HTTP endpoint over a metrics registry.
+
+    ``registry=None`` serves the process-wide default registry.  Use as
+    a context manager, or ``start()``/``stop()`` explicitly::
+
+        with MetricsServer(port=0) as server:
+            print(server.url)  # e.g. http://127.0.0.1:49321
+            ...                # run joins; scrape any time
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 9464,
+                 registry=None):
+        if port < 0 or port > 65535:
+            raise ConfigurationError(f"invalid port {port}")
+        self.host = host
+        self.requested_port = port
+        self._registry = registry
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._httpd is None:
+            return self.requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "MetricsServer":
+        """Bind and serve on a daemon thread; returns self."""
+        if self._httpd is not None:
+            raise ConfigurationError("metrics server is already running")
+        from .registry import get_registry
+
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self.requested_port), _Handler
+        )
+        self._httpd.daemon_threads = True
+        self._httpd.registry = (
+            self._registry if self._registry is not None else get_registry()
+        )
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="setjoin-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_metrics(host: str = "127.0.0.1", port: int = 9464,
+                  registry=None) -> MetricsServer:
+    """Start a daemon-thread metrics server and return it."""
+    return MetricsServer(host, port, registry).start()

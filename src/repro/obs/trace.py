@@ -174,30 +174,64 @@ class Tracer:
                 records.append(span.to_record())
         return records
 
+    def child(self) -> "Tracer":
+        """A fresh tracer sharing this tracer's clocks.
+
+        In-process workers (the serial and thread parallel backends) use
+        this so their span trees stay on the parent's timeline — and stay
+        deterministic when the parent's clocks are injected fakes.
+        """
+        return Tracer(clock=self._clock, wall=lambda: self._now())
+
     def adopt(self, records: list[dict], parent: Span | None = None) -> list[Span]:
         """Graft foreign span records into this tracer's tree.
 
         Records (from another tracer's :meth:`export`, typically another
         process) are re-keyed with fresh span ids; their internal
-        parent/child links are preserved, and records whose parent is
-        not in the batch attach under ``parent`` (default: the current
-        span, or as new roots).  Returns the adopted top-level spans.
+        parent/child links are preserved regardless of record order, and
+        records whose parent is not in the batch attach under ``parent``
+        (default: the current span, or as new roots).  Returns the
+        adopted top-level spans.
+
+        Malformed records — missing keys, non-string names, duplicate
+        span ids within the batch — raise ``ValueError`` before anything
+        is grafted, so a bad batch never leaves a half-adopted tree.
         """
         if parent is None:
             parent = self.current
         by_old_id: dict[int, Span] = {}
-        tops: list[Span] = []
-        for record in records:
+        adopted: list[tuple[dict, Span]] = []
+        for index, record in enumerate(records):
+            try:
+                name = record["name"]
+                old_id = record["span_id"]
+                start = record["start"]
+                end = record["end"]
+            except (KeyError, TypeError) as error:
+                raise ValueError(
+                    f"cannot adopt record {index}: missing key {error}"
+                ) from None
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"cannot adopt record {index}: empty name")
+            if old_id in by_old_id:
+                raise ValueError(
+                    f"cannot adopt records: duplicate span_id {old_id}"
+                )
             span = Span(
-                record["name"],
+                name,
                 self._next_id,
                 None,
-                record["start"],
-                record["end"],
+                start,
+                end,
                 dict(record.get("attrs") or {}),
             )
             self._next_id += 1
-            by_old_id[record["span_id"]] = span
+            by_old_id[old_id] = span
+            adopted.append((record, span))
+        # Second pass: link after every span exists, so a child record
+        # appearing before its parent (out-of-order export) still nests.
+        tops: list[Span] = []
+        for record, span in adopted:
             old_parent = record.get("parent_id")
             adoptive = by_old_id.get(old_parent) if old_parent is not None else None
             if adoptive is not None:

@@ -81,10 +81,26 @@ def run_parallel_join(
             )
     # Stitch the workers' serialized span trees under the parent's
     # current span (the joining phase), in shard order, so a k-way run
-    # yields one coherent tree with true per-shard wall times.
+    # yields one coherent tree with true per-shard wall times.  Each
+    # adopted shard span is annotated with the scheduler's predicted
+    # comparison count (exact under block nested loop: Σ |R_p|·|S_p|)
+    # so EXPLAIN ANALYZE can show per-shard predicted-vs-observed skew.
     if tracer.enabled:
+        predicted = {
+            shard.index: (
+                sum(r_sizes[p] * s_sizes[p] for p in shard.partitions),
+                shard.cost,
+            )
+            for shard in shards
+        }
         for result in sorted(results, key=lambda r: r.index):
-            tracer.adopt(result.spans)
+            for span in tracer.adopt(result.spans):
+                if span.name == "shard" and span.attrs.get("index") in predicted:
+                    comparisons, cost = predicted[span.attrs["index"]]
+                    span.set(
+                        predicted_comparisons=comparisons,
+                        scheduled_cost=cost,
+                    )
     return merge_shard_pairs(results), merge_worker_metrics(results, template)
 
 

@@ -140,13 +140,22 @@ def run_shard(spec: ShardSpec) -> ShardResult:
     regardless of backend.
     """
     from ..core.operator import compare_block
-    from ..obs.trace import NULL_TRACER, Tracer, use_tracer
+    from ..obs.trace import NULL_TRACER, Tracer, current_tracer, use_tracer
 
     result = ShardResult(partitions=len(spec.partitions), index=spec.index)
     started = time.perf_counter()
     disk = None
     pool = None
-    tracer = Tracer() if spec.trace else NULL_TRACER
+    if not spec.trace:
+        tracer = NULL_TRACER
+    else:
+        # In-process backends (serial/thread) still see the parent's
+        # ambient tracer: share its clocks so worker spans land on the
+        # parent timeline and stay deterministic under injected clocks.
+        # In a forked/spawned process the ambient tracer is the no-op
+        # default and the worker falls back to real clocks.
+        ambient = current_tracer()
+        tracer = ambient.child() if isinstance(ambient, Tracer) else Tracer()
     shard_span = tracer.start(
         "shard", index=spec.index, partitions=len(spec.partitions)
     )

@@ -144,3 +144,109 @@ class TestCommands:
 
     def test_unknown_experiment_is_error(self, capsys):
         assert main(["experiment", "fig99"]) == 1
+
+
+class TestPlanInspectorFlags:
+    def test_explain_prints_the_plan_without_executing(self, set_files, capsys):
+        r_path, s_path = set_files
+        assert main(["join", r_path, s_path, "--algorithm", "dcj",
+                     "-k", "8", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "set containment join" in out
+        assert "α(h1)" in out
+        assert "predicted" in out
+        assert "observed" not in out
+        # No result pairs: EXPLAIN does not run the join.
+        assert "\t" not in out
+
+    def test_analyze_prints_predicted_and_observed(self, set_files, capsys):
+        r_path, s_path = set_files
+        assert main(["join", r_path, s_path, "--algorithm", "dcj",
+                     "-k", "8", "--analyze"]) == 0
+        captured = capsys.readouterr()
+        assert "observed" in captured.out and "err" in captured.out
+        assert "phase.verify" in captured.out
+        # The usual run summary still lands on stderr.
+        assert "signature comparisons" in captured.err
+
+    def test_analyze_writes_drift_jsonl(self, set_files, capsys, tmp_path):
+        r_path, s_path = set_files
+        drift_path = str(tmp_path / "drift.jsonl")
+        assert main(["join", r_path, s_path, "--algorithm", "psj",
+                     "-k", "4", "--analyze", "--drift", drift_path]) == 0
+        from repro.obs.drift import read_drift_jsonl
+
+        (record,) = read_drift_jsonl(drift_path)
+        assert record.algorithm == "PSJ"
+        assert "drift record appended" in capsys.readouterr().err
+
+    def test_drift_without_analyze_is_usage_error(self, set_files, capsys):
+        r_path, s_path = set_files
+        assert main(["join", r_path, s_path, "--drift", "x.jsonl"]) == 2
+        assert "--drift requires --analyze" in capsys.readouterr().err
+
+    def test_metrics_to_stdout(self, set_files, capsys):
+        r_path, s_path = set_files
+        assert main(["join", r_path, s_path, "--algorithm", "dcj",
+                     "-k", "8", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE setjoin_joins_total counter" in out
+        assert "setjoin_signature_comparisons_total" in out
+
+    def test_metrics_to_file(self, set_files, capsys, tmp_path):
+        r_path, s_path = set_files
+        metrics_path = str(tmp_path / "metrics.prom")
+        assert main(["join", r_path, s_path, "--algorithm", "dcj",
+                     "-k", "8", "--metrics", metrics_path]) == 0
+        text = open(metrics_path).read()
+        assert "setjoin_joins_total" in text
+        captured = capsys.readouterr()
+        assert "setjoin_joins_total" not in captured.out
+        assert "metrics written to" in captured.err
+
+    def test_analyze_with_metrics_exposes_drift_series(
+        self, set_files, capsys, tmp_path
+    ):
+        r_path, s_path = set_files
+        metrics_path = str(tmp_path / "metrics.prom")
+        assert main(["join", r_path, s_path, "--algorithm", "dcj", "-k", "8",
+                     "--analyze", "--metrics", metrics_path]) == 0
+        text = open(metrics_path).read()
+        assert "setjoin_drift_records_total" in text
+        assert "setjoin_drift_seconds_abs_error" in text
+
+    def test_trace_summary_without_trace_file(self, set_files, capsys):
+        r_path, s_path = set_files
+        assert main(["join", r_path, s_path, "--algorithm", "dcj",
+                     "-k", "8", "--trace-summary"]) == 0
+        err = capsys.readouterr().err
+        assert "join" in err and "phase.partition" in err
+        # p50/p95/p99 session latencies ride along with the summary.
+        assert "p50=" in err and "p99=" in err
+
+    def test_db_explain_renders_the_plan_tree(
+        self, set_files, capsys, tmp_path
+    ):
+        r_path, s_path = set_files
+        db_path = str(tmp_path / "cli.db")
+        assert main(["db", db_path, "load", "R", r_path]) == 0
+        assert main(["db", db_path, "load", "S", s_path]) == 0
+        capsys.readouterr()
+        assert main(["db", db_path, "explain", "R", "S"]) == 0
+        out = capsys.readouterr().out
+        assert "chosen:" in out
+        assert "phase.partition" in out and "phase.verify" in out
+
+    def test_serve_parser_accepts_host_and_port(self):
+        from repro.cli import build_parser
+
+        arguments = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "0"]
+        )
+        assert arguments.command == "serve"
+        assert arguments.host == "0.0.0.0"
+        assert arguments.port == 0
+        db_arguments = build_parser().parse_args(
+            ["db", "x.db", "stats", "--serve", "--port", "0"]
+        )
+        assert db_arguments.serve and db_arguments.port == 0

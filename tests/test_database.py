@@ -109,6 +109,49 @@ class TestDatabase:
             assert "chosen:" in text
             assert "best DCJ" in text and "best PSJ" in text
 
+    def test_explain_plan_renders_the_predicted_tree(self, relations):
+        lhs, rhs = relations
+        with SetJoinDatabase.open() as db:
+            db.create_relation("r", lhs)
+            db.create_relation("s", rhs)
+            report = db.explain_plan("r", "s", algorithm="DCJ",
+                                     num_partitions=8)
+            text = report.render()
+            assert report.mode == "explain"
+            assert "α(h1)" in text  # the DCJ operator tree
+            assert "phase.partition" in text and "phase.verify" in text
+            # Built from catalog statistics alone — nothing executed, so
+            # EXPLAIN must not grow the database.
+            pages_before = db.disk.num_pages
+            db.explain_plan("r", "s")
+            assert db.disk.num_pages == pages_before
+
+    def test_explain_plan_auto_matches_the_optimizer(self, relations):
+        lhs, rhs = relations
+        with SetJoinDatabase.open() as db:
+            db.create_relation("r", lhs)
+            db.create_relation("s", rhs)
+            plan = db.plan("r", "s")
+            report = db.explain_plan("r", "s")
+            assert report.root.detail == f"{plan.algorithm} k={plan.k}"
+
+    def test_stats_report_join_latency_percentiles(self, relations):
+        lhs, rhs = relations
+        with SetJoinDatabase.open() as db:
+            db.create_relation("r", lhs)
+            db.create_relation("s", rhs)
+            db.join("r", "s", algorithm="PSJ")
+            stats = db.stats()
+        # The latency series lives in the process-wide registry, so
+        # other tests' joins may have contributed too — at least ours
+        # must be there, with ordered quantiles.
+        assert stats["joins_recorded"] >= 1
+        p50, p95, p99 = (stats["join_latency_p50"],
+                         stats["join_latency_p95"],
+                         stats["join_latency_p99"])
+        assert p50 is not None
+        assert p50 <= p95 <= p99
+
     def test_drop_returns_pages(self, relations):
         lhs, __ = relations
         with SetJoinDatabase.open() as db:

@@ -57,6 +57,47 @@ class TestHistogram:
             Histogram("h", buckets=())
 
 
+class TestHistogramPercentile:
+    def test_empty_histogram_has_no_percentile(self):
+        assert Histogram("h", buckets=(1.0, 5.0)).percentile(0.5) is None
+
+    def test_interpolates_within_the_owning_bucket(self):
+        histogram = Histogram("h", buckets=(10.0, 20.0, 30.0))
+        for value in (12.0, 14.0, 16.0, 18.0):  # all in (10, 20]
+            histogram.observe(value)
+        # Rank 2 of 4 → halfway through the (10, 20] bucket.
+        assert histogram.percentile(0.5) == pytest.approx(15.0)
+        assert histogram.percentile(1.0) == pytest.approx(20.0)
+
+    def test_spread_across_buckets(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 3.5):
+            histogram.observe(value)
+        # p25 lands in the first bucket, p75 in the third.
+        assert histogram.percentile(0.25) <= 1.0
+        assert 2.0 < histogram.percentile(0.75) <= 4.0
+
+    def test_overflow_clamps_to_last_finite_bound(self):
+        histogram = Histogram("h", buckets=(1.0, 5.0))
+        histogram.observe(100.0)  # +Inf bucket
+        assert histogram.percentile(0.99) == 5.0
+
+    def test_q_outside_unit_interval_rejected(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        with pytest.raises(ConfigurationError):
+            histogram.percentile(-0.1)
+        with pytest.raises(ConfigurationError):
+            histogram.percentile(1.5)
+
+    def test_monotone_in_q(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0, 8.0))
+        for value in (0.5, 1.5, 2.5, 3.0, 5.0, 7.0):
+            histogram.observe(value)
+        quantiles = [histogram.percentile(q)
+                     for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)]
+        assert quantiles == sorted(quantiles)
+
+
 class TestRegistry:
     def test_get_or_create_returns_same_object(self):
         registry = MetricsRegistry()

@@ -1,0 +1,127 @@
+"""Tests for the live /metrics endpoint (repro.obs.serve).
+
+Every server binds port 0 (ephemeral) so tests never collide with a
+real scrape target or with each other.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.serve import MetricsServer, serve_metrics
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+@pytest.fixture()
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("setjoin_joins_total", "Completed joins").inc(3)
+    registry.gauge("setjoin_last_buffer_hit_rate", "Hit rate").set(0.75)
+    return registry
+
+
+class TestMetricsServer:
+    def test_metrics_endpoint_serves_prometheus_text(self, registry):
+        with MetricsServer(port=0, registry=registry) as server:
+            status, headers, body = fetch(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "setjoin_joins_total 3" in body
+        assert "setjoin_last_buffer_hit_rate 0.75" in body
+
+    def test_scrape_sees_updates_without_restart(self, registry):
+        with MetricsServer(port=0, registry=registry) as server:
+            __, __, before = fetch(server.url + "/metrics")
+            registry.counter("setjoin_joins_total", "Completed joins").inc()
+            __, __, after = fetch(server.url + "/metrics")
+        assert "setjoin_joins_total 3" in before
+        assert "setjoin_joins_total 4" in after
+
+    def test_healthz(self, registry):
+        with MetricsServer(port=0, registry=registry) as server:
+            status, __, body = fetch(server.url + "/healthz")
+        assert status == 200
+        assert json.loads(body) == {"status": "ok", "service": "setjoin"}
+
+    def test_unknown_path_is_404_with_endpoint_list(self, registry):
+        with MetricsServer(port=0, registry=registry) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(server.url + "/nope")
+            document = json.loads(excinfo.value.read().decode())
+        assert excinfo.value.code == 404
+        assert document["endpoints"] == ["/metrics", "/healthz"]
+
+    def test_port_zero_resolves_after_start(self, registry):
+        server = MetricsServer(port=0, registry=registry)
+        assert server.port == 0
+        try:
+            server.start()
+            assert server.port != 0
+            assert str(server.port) in server.url
+            assert server.running
+        finally:
+            server.stop()
+        assert not server.running
+
+    def test_stop_is_idempotent_and_releases_the_port(self, registry):
+        server = MetricsServer(port=0, registry=registry).start()
+        server.stop()
+        server.stop()  # second stop is a no-op
+        # The instance can be started again after a full stop.
+        server.start()
+        try:
+            status, __, __ = fetch(server.url + "/healthz")
+            assert status == 200
+        finally:
+            server.stop()
+
+    def test_double_start_rejected(self, registry):
+        server = MetricsServer(port=0, registry=registry).start()
+        try:
+            with pytest.raises(ConfigurationError, match="already running"):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(ConfigurationError, match="invalid port"):
+            MetricsServer(port=-1)
+        with pytest.raises(ConfigurationError, match="invalid port"):
+            MetricsServer(port=70_000)
+
+    def test_serve_metrics_helper_starts_immediately(self, registry):
+        server = serve_metrics(port=0, registry=registry)
+        try:
+            assert server.running
+            __, __, body = fetch(server.url + "/metrics")
+            assert "setjoin_joins_total" in body
+        finally:
+            server.stop()
+
+
+class TestDriftOnMetrics:
+    def test_analyzed_join_drift_shows_up_on_the_endpoint(self):
+        from repro.data.workloads import uniform_workload
+        from repro.obs.explain import analyze_join
+
+        registry = MetricsRegistry()
+        lhs, rhs = uniform_workload(
+            r_size=40, s_size=60, theta_r=6, theta_s=12,
+            domain_size=200, seed=3,
+        ).materialize()
+        analyze_join(
+            lhs, rhs, algorithm="DCJ", num_partitions=8, registry=registry
+        )
+        with MetricsServer(port=0, registry=registry) as server:
+            __, __, body = fetch(server.url + "/metrics")
+        assert "setjoin_drift_records_total 1" in body
+        assert "setjoin_drift_last_seconds_relative_error" in body
+        assert "setjoin_drift_seconds_abs_error_bucket" in body

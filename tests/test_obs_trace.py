@@ -191,6 +191,83 @@ class TestExportAdopt:
         assert [c.attrs["index"] for c in root.children] == [0, 1]
 
 
+class TestAdoptRobustness:
+    """Malformed and out-of-order batches (e.g. a buggy or half-written
+    worker export) must either adopt cleanly or reject atomically."""
+
+    def export_shard(self):
+        worker = make_tracer()
+        with worker.span("shard", index=0):
+            with worker.span("join.partition", partition=3):
+                pass
+        return worker.export()
+
+    def test_out_of_order_records_still_nest(self):
+        records = self.export_shard()
+        # Ship the child before its parent: linkage must survive.
+        records.reverse()
+        assert records[0]["name"] == "join.partition"
+        parent = make_tracer()
+        with parent.span("join") as root:
+            tops = parent.adopt(records)
+        assert len(tops) == 1
+        (shard,) = root.children
+        assert shard.name == "shard"
+        assert [c.name for c in shard.children] == ["join.partition"]
+        assert shard.children[0].parent_id == shard.span_id
+
+    def test_missing_key_rejected(self):
+        for key in ("name", "span_id", "start", "end"):
+            records = self.export_shard()
+            del records[0][key]
+            with pytest.raises(ValueError, match="missing key"):
+                make_tracer().adopt(records)
+
+    def test_non_dict_record_rejected(self):
+        with pytest.raises(ValueError, match="missing key"):
+            make_tracer().adopt([None])
+
+    def test_empty_or_non_string_name_rejected(self):
+        for bad_name in ("", 42, None):
+            records = self.export_shard()
+            records[0]["name"] = bad_name
+            with pytest.raises(ValueError, match="empty name"):
+                make_tracer().adopt(records)
+
+    def test_duplicate_span_id_within_batch_rejected(self):
+        records = self.export_shard()
+        records[1]["span_id"] = records[0]["span_id"]
+        with pytest.raises(ValueError, match="duplicate span_id"):
+            make_tracer().adopt(records)
+
+    def test_rejected_batch_leaves_no_partial_graft(self):
+        parent = make_tracer()
+        with parent.span("join") as root:
+            good = self.export_shard()
+            bad = self.export_shard()
+            del bad[1]["start"]
+            parent.adopt(good)
+            with pytest.raises(ValueError):
+                parent.adopt(bad)
+        # Only the good batch landed; the bad one was rejected before
+        # any of its records were grafted.
+        assert len(root.children) == 1
+        assert sum(1 for _ in root.walk()) == 3
+
+    def test_dangling_parent_in_batch_attaches_under_current(self):
+        records = self.export_shard()
+        # Point the child at a parent id that is not in the batch (as if
+        # the batch were truncated): it attaches under the current span
+        # instead of being dropped or crashing.
+        orphan = [r for r in records if r["name"] == "join.partition"][0]
+        orphan["parent_id"] = 424242
+        parent = make_tracer()
+        with parent.span("join") as root:
+            tops = parent.adopt(records)
+        assert len(tops) == 2
+        assert {c.name for c in root.children} == {"shard", "join.partition"}
+
+
 class TestAmbientTracer:
     def test_default_is_null_tracer(self):
         assert current_tracer() is NULL_TRACER
