@@ -13,7 +13,8 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 	$(PYTHON) benchmarks/baseline.py --out BENCH_joins.json \
-		--check benchmarks/BENCH_seed.json --counters-only
+		--check benchmarks/BENCH_seed.json --counters-only \
+		--history BENCH_history.jsonl
 
 experiments:
 	$(PYTHON) -m repro.experiments --all --out results/
@@ -21,10 +22,26 @@ experiments:
 scorecard:
 	$(PYTHON) -m repro.experiments scorecard
 
+# Paper-scale runs are guarded behind SETJOINS_PAPER_SCALE so CI (which
+# never sets it) stays at toy scale.  The final step records how far the
+# paper's published c1/c2/c3 constants drift on this machine at the
+# paper's |R|=|S|=10000 operating point: it EXPLAIN-ANALYZEs the join,
+# appends the drift record to results/paper_drift.jsonl, and lets the
+# recalibrator refit into results/paper_models.json once enough history
+# accumulates.
 paper-scale:
 	SETJOINS_PAPER_SCALE=1 $(PYTHON) -m pytest tests/test_paper_scale.py -s
 	$(PYTHON) -m repro.experiments fig8 --scale 1.0
 	$(PYTHON) -m repro.experiments fig9 --scale 1.0
+	mkdir -p results
+	SETJOINS_PAPER_SCALE=1 $(PYTHON) -m repro.cli generate \
+		results/paper_r.txt --size 10000 --theta 6 --domain 10000 --seed 8
+	SETJOINS_PAPER_SCALE=1 $(PYTHON) -m repro.cli generate \
+		results/paper_s.txt --size 10000 --theta 12 --domain 10000 --seed 9
+	SETJOINS_PAPER_SCALE=1 $(PYTHON) -m repro.cli join \
+		results/paper_r.txt results/paper_s.txt --analyze \
+		--drift results/paper_drift.jsonl --recalibrate \
+		--model-store results/paper_models.json
 
 examples:
 	@for script in examples/*.py; do \
@@ -33,4 +50,4 @@ examples:
 
 clean:
 	rm -rf results/ build/ *.egg-info src/*.egg-info .pytest_cache \
-		.hypothesis __pycache__ BENCH_joins.json
+		.hypothesis __pycache__ BENCH_joins.json BENCH_history.jsonl

@@ -16,6 +16,13 @@ and result sizes.
   (CI compares against the committed machine-agnostic seed baseline,
   where another machine's absolute times are meaningless).
 
+``--history BENCH_history.jsonl`` additionally appends every run's
+snapshot as one JSON line, building a local time series.  When a check
+runs with history present, wall times are *also* compared against the
+rolling median of the last ``--rolling-window`` compatible runs — a
+single-run baseline is one noisy sample, while the rolling median
+absorbs scheduler jitter and only trips on sustained slowdowns.
+
 Exit status: 0 on pass, 1 on regression — so it wires directly into
 ``make bench`` and the ``explain-regression`` CI job.
 """
@@ -152,17 +159,78 @@ def load_baseline(path: str) -> dict:
         return json.load(handle)
 
 
+def append_history(snapshot: dict, path: str) -> None:
+    """Append one snapshot as a JSON line to the rolling history file."""
+    record = dict(snapshot)
+    record["recorded_at"] = time.time()
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_history(path: str) -> list[dict]:
+    """Load every snapshot from a history file (oldest first)."""
+    if not os.path.exists(path):
+        return []
+    records: list[dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def rolling_medians(
+    history: list[dict], current: dict, window: int = 5
+) -> dict[str, float]:
+    """Per-workload median wall time over the last ``window`` runs.
+
+    Only snapshots compatible with ``current`` (same schema and scale)
+    contribute; an empty dict means there is no usable history yet.
+    """
+    compatible = [
+        record for record in history
+        if record.get("schema") == current.get("schema")
+        and record.get("scale") == current.get("scale")
+    ][-window:]
+    medians: dict[str, float] = {}
+    names = {
+        name
+        for record in compatible
+        for name in record.get("workloads", {})
+    }
+    for name in names:
+        samples = sorted(
+            record["workloads"][name]["wall_seconds"]
+            for record in compatible
+            if name in record.get("workloads", {})
+        )
+        if not samples:
+            continue
+        mid = len(samples) // 2
+        if len(samples) % 2:
+            medians[name] = samples[mid]
+        else:
+            medians[name] = (samples[mid - 1] + samples[mid]) / 2.0
+    return medians
+
+
 def check_regression(
     current: dict,
     baseline: dict,
     time_threshold: float = 0.25,
     counters_only: bool = False,
+    history: list[dict] | None = None,
+    rolling_window: int = 5,
 ) -> list[str]:
     """Compare a fresh snapshot against a stored baseline.
 
     Returns a list of human-readable failures (empty = pass).  Counters
     are compared exactly; wall time fails when the current run is more
-    than ``time_threshold`` (fraction) slower than the baseline.
+    than ``time_threshold`` (fraction) slower than the baseline.  When
+    ``history`` is given, wall time is also checked against the rolling
+    median of the last ``rolling_window`` compatible snapshots — the
+    median is a far less noisy reference than any single stored run.
     """
     failures: list[str] = []
     if current.get("schema") != baseline.get("schema"):
@@ -197,6 +265,20 @@ def check_regression(
                 f"vs baseline {expected['wall_seconds']:.4f}s "
                 f"(threshold {time_threshold:.0%})"
             )
+    if history and not counters_only:
+        medians = rolling_medians(history, current, window=rolling_window)
+        for name, median in sorted(medians.items()):
+            actual = current.get("workloads", {}).get(name)
+            if actual is None:
+                continue
+            allowed = median * (1.0 + time_threshold)
+            if actual["wall_seconds"] > allowed:
+                failures.append(
+                    f"{name}: wall time above rolling median: "
+                    f"{actual['wall_seconds']:.4f}s vs median "
+                    f"{median:.4f}s of last {rolling_window} runs "
+                    f"(threshold {time_threshold:.0%})"
+                )
     return failures
 
 
@@ -231,10 +313,30 @@ def main(argv: list[str] | None = None) -> int:
         "--trace", metavar="PATH", default=None,
         help="also write a span trace of the first workload (JSON Lines)",
     )
+    parser.add_argument(
+        "--history", metavar="PATH", default=None,
+        help="append this run to a JSONL history file and, with --check, "
+        "also compare wall time against the rolling median of prior runs",
+    )
+    parser.add_argument(
+        "--rolling-window", type=int, default=5,
+        help="number of recent history runs the rolling median covers "
+        "(default 5)",
+    )
     arguments = parser.parse_args(argv)
 
     snapshot = run_suite(scale=arguments.scale, trace_path=arguments.trace)
     write_baseline(snapshot, arguments.out)
+    prior_runs: list[dict] = []
+    if arguments.history:
+        # Load before appending so the fresh run is judged against its
+        # predecessors, not against itself.
+        prior_runs = load_history(arguments.history)
+        append_history(snapshot, arguments.history)
+        print(
+            f"history: run {len(prior_runs) + 1} appended to "
+            f"{arguments.history}"
+        )
     for name, record in sorted(snapshot["workloads"].items()):
         print(
             f"{name}: {record['algorithm']} k={record['k']} "
@@ -253,6 +355,8 @@ def main(argv: list[str] | None = None) -> int:
             load_baseline(arguments.check),
             time_threshold=arguments.time_threshold,
             counters_only=arguments.counters_only,
+            history=prior_runs,
+            rolling_window=arguments.rolling_window,
         )
         if failures:
             print(f"REGRESSION vs {arguments.check}:")

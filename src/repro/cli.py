@@ -35,25 +35,57 @@ def load_relation_file(path: str, name: str = "") -> Relation:
 
 
 def _cmd_join(arguments) -> int:
+    import os
+
     lhs = load_relation_file(arguments.r_file, "R")
     rhs = load_relation_file(arguments.s_file, "S")
     algorithm = (
         "auto" if arguments.algorithm == "auto"
         else arguments.algorithm.upper()
     )
-    if arguments.drift and not arguments.analyze:
-        print("error: --drift requires --analyze", file=sys.stderr)
+    if arguments.drift and not (arguments.analyze or arguments.explain):
+        print("error: --drift requires --analyze (or --explain, which "
+              "uses the history read-only)", file=sys.stderr)
         return 2
+    if arguments.recalibrate and not (arguments.drift and arguments.analyze):
+        print("error: --recalibrate requires --analyze --drift PATH",
+              file=sys.stderr)
+        return 2
+
+    # The closed loop: the model store's freshest recalibrated version
+    # plans this join, and the drift history (when it already exists)
+    # weights the auto selection by each algorithm's recent drift.
+    model = PAPER_TIME_MODEL
+    store = None
+    if arguments.recalibrate or arguments.model_store:
+        from .obs.adaptive import ModelStore
+
+        store_path = arguments.model_store or (
+            f"{arguments.drift}.models.json" if arguments.drift else None
+        )
+        store = ModelStore(store_path)
+        model = store.active
+        if store.active_version:
+            print(f"# planning with recalibrated model v"
+                  f"{store.active_version} (c1={model.c1:.4g}, "
+                  f"c2={model.c2:.4g}, c3={model.c3:.4g})",
+                  file=sys.stderr)
+    drift_history = (
+        arguments.drift
+        if arguments.drift and os.path.exists(arguments.drift) else None
+    )
 
     if arguments.explain:
         from .obs.explain import explain_join
 
         report = explain_join(
             lhs, rhs, algorithm, arguments.partitions,
+            model=model,
             signature_bits=arguments.signature_bits,
             engine=arguments.engine,
             workers=arguments.workers,
             backend=arguments.parallel_backend,
+            drift_history=drift_history,
         )
         print(report.render())
         return 0
@@ -69,21 +101,33 @@ def _cmd_join(arguments) -> int:
 
         analysis = analyze_join(
             lhs, rhs, algorithm, arguments.partitions,
+            model=model,
             signature_bits=arguments.signature_bits,
             engine=arguments.engine,
             workers=arguments.workers,
             backend=arguments.parallel_backend,
             tracer=tracer,
             drift_path=arguments.drift,
+            drift_history=drift_history,
         )
         result, metrics = analysis.pairs, analysis.metrics
         print(analysis.render())
         if arguments.drift:
             print(f"# drift record appended to {arguments.drift}",
                   file=sys.stderr)
+        if arguments.recalibrate:
+            from .obs.adaptive import Recalibrator
+
+            recalibrator = Recalibrator(store=store)
+            outcome = recalibrator.maybe_recalibrate(arguments.drift)
+            print(f"# recalibration: {outcome.reason}", file=sys.stderr)
+            if outcome.refit:
+                print(f"# model store: v{store.active_version} written to "
+                      f"{store.path}", file=sys.stderr)
     else:
         if algorithm == "auto":
-            plan = choose_plan(lhs, rhs, PAPER_TIME_MODEL)
+            plan = choose_plan(lhs, rhs, model,
+                               drift_history=drift_history)
             partitioner = plan.build_partitioner()
             print(f"# planned: {plan.algorithm} with k={plan.k}",
                   file=sys.stderr)
@@ -232,9 +276,11 @@ def _wait_forever() -> None:
 def _cmd_serve(arguments) -> int:
     from .obs.serve import MetricsServer
 
-    server = MetricsServer(arguments.host, arguments.port).start()
-    print(f"serving {server.url}/metrics and {server.url}/healthz "
-          "(Ctrl-C to stop)", file=sys.stderr)
+    server = MetricsServer(arguments.host, arguments.port,
+                           token=arguments.token).start()
+    auth_note = " (bearer-token auth)" if arguments.token else ""
+    print(f"serving {server.url}/metrics{auth_note} and "
+          f"{server.url}/healthz (Ctrl-C to stop)", file=sys.stderr)
     try:
         _wait_forever()
     finally:
@@ -249,7 +295,8 @@ def _cmd_db(arguments) -> int:
     if arguments.serve:
         from .obs.serve import MetricsServer
 
-        server = MetricsServer(arguments.host, arguments.port).start()
+        server = MetricsServer(arguments.host, arguments.port,
+                               token=arguments.token).start()
         print(f"# serving {server.url}/metrics", file=sys.stderr)
     try:
         with SetJoinDatabase.open(arguments.database) as db:
@@ -407,7 +454,21 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument(
         "--drift", metavar="PATH", default=None,
         help="with --analyze: append the predicted-vs-observed drift "
-        "record to PATH (JSON Lines)",
+        "record to PATH (JSON Lines); an existing history also makes "
+        "auto selection drift-aware and adds the corrected column",
+    )
+    join.add_argument(
+        "--recalibrate", action="store_true",
+        help="with --analyze --drift: after the join, refit the time "
+        "model from the drift history when its wall-time bias exceeds "
+        "the threshold; refits are versioned into the model store and "
+        "used for planning on subsequent runs",
+    )
+    join.add_argument(
+        "--model-store", metavar="PATH", default=None,
+        help="versioned store of recalibrated time models (default with "
+        "--recalibrate: DRIFT.models.json); the freshest version plans "
+        "the join",
     )
     join.add_argument(
         "--trace", metavar="PATH", default=None,
@@ -483,18 +544,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="expose /metrics and /healthz over HTTP while (and after) "
         "the action runs; Ctrl-C to stop",
     )
-    database.add_argument("--host", default="127.0.0.1",
-                          help="bind address for --serve")
+    database.add_argument("--host", "--bind", dest="host",
+                          default="127.0.0.1",
+                          help="bind interface for --serve (default "
+                          "loopback; 0.0.0.0 = all interfaces)")
     database.add_argument("--port", type=int, default=9464,
                           help="bind port for --serve (0 = ephemeral)")
+    database.add_argument("--token", default=None,
+                          help="require 'Authorization: Bearer TOKEN' on "
+                          "/metrics (/healthz stays open)")
     database.set_defaults(handler=_cmd_db)
 
     serve = commands.add_parser(
         "serve", help="serve process metrics over HTTP (Prometheus format)"
     )
-    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--host", "--bind", dest="host", default="127.0.0.1",
+                       help="bind interface (default loopback; 0.0.0.0 = "
+                       "all interfaces)")
     serve.add_argument("--port", type=int, default=9464,
                        help="bind port (default 9464; 0 = ephemeral)")
+    serve.add_argument("--token", default=None,
+                       help="require 'Authorization: Bearer TOKEN' on "
+                       "/metrics (/healthz stays open)")
     serve.set_defaults(handler=_cmd_serve)
 
     stats = commands.add_parser("stats", help="summarize set files")

@@ -52,6 +52,7 @@ def containment_join(
     workers: int = 1,
     backend: str = "serial",
     tracer=None,
+    drift_history=None,
 ) -> tuple[set[tuple[int, int]], JoinMetrics]:
     """Compute ``{(r.tid, s.tid) : r ⊆ s}``.
 
@@ -67,6 +68,14 @@ def containment_join(
     ``tracer`` (a :class:`repro.obs.trace.Tracer`) records a span tree
     of the execution — phases, partition pairs, per-shard worker spans —
     without changing results or accounting; see :mod:`repro.obs`.
+
+    ``drift_history`` (drift records, a JSONL history path, or a
+    precomputed ``{algorithm: factor}`` mapping) makes the ``"auto"``
+    selection drift-aware: each candidate algorithm's predicted time is
+    weighted by its recent observed wall-time drift before DCJ and PSJ
+    are compared (:mod:`repro.obs.adaptive`).  Once an (algorithm, k)
+    pair is chosen, execution — results and x/y accounting — is
+    bit-identical with or without the history.
     """
     if algorithm not in _ALGORITHMS:
         raise ConfigurationError(
@@ -76,7 +85,7 @@ def containment_join(
         return set(), JoinMetrics(algorithm=algorithm, r_size=len(lhs),
                                   s_size=len(rhs))
     if algorithm == "auto":
-        plan = choose_plan(lhs, rhs, model)
+        plan = choose_plan(lhs, rhs, model, drift_history=drift_history)
         partitioner = plan.build_partitioner(seed=seed)
     else:
         from ..analysis.simulate import make_partitioner

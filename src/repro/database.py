@@ -65,6 +65,7 @@ class SetJoinDatabase:
         durable: bool = True,
         disk: DiskManager | None = None,
         wal: WriteAheadLog | None = None,
+        model_store=None,
     ):
         if disk is None:
             if path is None:
@@ -80,6 +81,18 @@ class SetJoinDatabase:
             self.disk = disk
         self.pool = BufferPool(self.disk, capacity=buffer_pages,
                                policy=buffer_policy)
+        # ``model_store`` (a path or a ModelStore) plugs the database into
+        # the closed calibration loop: planning always uses the store's
+        # freshest recalibrated model instead of the static constants.
+        self.model_store = None
+        if model_store is not None:
+            from .obs.adaptive import ModelStore
+
+            self.model_store = (
+                model_store if isinstance(model_store, ModelStore)
+                else ModelStore(model_store, base_model=model)
+            )
+            model = self.model_store.active
         self.model = model
         self._closed = False
         if self.disk.num_pages == 0:
@@ -212,13 +225,29 @@ class SetJoinDatabase:
             return size, 0.0
         return size, sum(cardinalities) / len(cardinalities)
 
-    def plan(self, r_name: str, s_name: str) -> JoinPlan:
-        """Run the optimizer over the stored relations' statistics."""
+    def refresh_model(self) -> TimeModel:
+        """Re-adopt the model store's freshest version (no-op without a
+        store).  Call after an external recalibration so a long-lived
+        session plans with the new constants without reopening."""
+        if self.model_store is not None:
+            self.model = self.model_store.active
+        return self.model
+
+    def plan(self, r_name: str, s_name: str,
+             drift_history=None) -> JoinPlan:
+        """Run the optimizer over the stored relations' statistics.
+
+        ``drift_history`` (records, a JSONL path, or precomputed
+        factors) makes the selection drift-aware — see
+        :func:`repro.core.optimizer.plan_from_statistics`.
+        """
         self._check_open()
+        self.refresh_model()
         r_size, theta_r = self._statistics(r_name)
         s_size, theta_s = self._statistics(s_name, seed=1)
         return plan_from_statistics(
-            r_size, s_size, theta_r, theta_s, self.model
+            r_size, s_size, theta_r, theta_s, self.model,
+            drift_history=drift_history,
         )
 
     def explain(self, r_name: str, s_name: str) -> str:

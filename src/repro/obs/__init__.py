@@ -22,6 +22,12 @@ cross-cutting layer the rest of the system reports through:
   and per-node relative errors.
 * :mod:`.drift` — predicted-vs-observed drift records, published to the
   registry and persisted as JSONL, so time-model staleness is visible.
+* :mod:`.adaptive` — the *act* half of the loop: a
+  :class:`~repro.obs.adaptive.Recalibrator` refits the time model from
+  accumulated drift when its wall-time bias exceeds a threshold,
+  versioned into a :class:`~repro.obs.adaptive.ModelStore`, and
+  :func:`~repro.obs.adaptive.drift_corrections` feeds per-algorithm
+  correction factors back into the optimizer.
 * :mod:`.serve` — a stdlib HTTP endpoint (``/metrics``, ``/healthz``)
   serving the registry in Prometheus text format.
 
@@ -60,6 +66,13 @@ _LAZY = {
     "calibration_residuals": "drift",
     "MetricsServer": "serve",
     "serve_metrics": "serve",
+    "ModelVersion": "adaptive",
+    "ModelStore": "adaptive",
+    "RefitOutcome": "adaptive",
+    "Recalibrator": "adaptive",
+    "samples_from_history": "adaptive",
+    "drift_corrections": "adaptive",
+    "publish_model": "adaptive",
 }
 
 __all__ = [

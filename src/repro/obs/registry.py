@@ -206,6 +206,107 @@ class MetricsRegistry:
                 out[metric.name] = metric.value
         return out
 
+    def snapshot(self) -> dict:
+        """Full value snapshot, plain data only (picklable).
+
+        The baseline for :meth:`delta`: a forked worker snapshots the
+        registry it inherited before doing any work, so the delta it
+        ships home contains only its own contribution.
+        """
+        out: dict = {}
+        for metric in self._metrics.values():
+            if isinstance(metric, Histogram):
+                out[metric.name] = {
+                    "kind": "histogram",
+                    "help": metric.help,
+                    "buckets": list(metric.buckets),
+                    "bucket_counts": list(metric.bucket_counts),
+                    "sum": metric.sum,
+                    "count": metric.count,
+                }
+            else:
+                out[metric.name] = {
+                    "kind": metric.kind,
+                    "help": metric.help,
+                    "value": metric.value,
+                }
+        return out
+
+    def delta(self, baseline: dict) -> dict:
+        """What changed since ``baseline`` (a :meth:`snapshot`).
+
+        Counters and histograms carry *differences* (additive on merge);
+        gauges are last-write-wins and carry their absolute value, and
+        appear only when they changed.  The result is plain data, safe
+        to pickle across a process boundary.
+        """
+        out: dict = {}
+        for name, entry in self.snapshot().items():
+            before = baseline.get(name)
+            if entry["kind"] == "counter":
+                previous = before["value"] if before is not None else 0
+                change = entry["value"] - previous
+                if change:
+                    out[name] = dict(entry, value=change)
+            elif entry["kind"] == "gauge":
+                if before is None or before["value"] != entry["value"]:
+                    out[name] = dict(entry)
+            else:
+                previous_counts = (
+                    before["bucket_counts"] if before is not None
+                    else [0] * len(entry["bucket_counts"])
+                )
+                counts = [
+                    now - then for now, then
+                    in zip(entry["bucket_counts"], previous_counts)
+                ]
+                count = entry["count"] - (
+                    before["count"] if before is not None else 0
+                )
+                if count:
+                    out[name] = dict(
+                        entry,
+                        bucket_counts=counts,
+                        count=count,
+                        sum=entry["sum"] - (
+                            before["sum"] if before is not None else 0.0
+                        ),
+                    )
+        return out
+
+    def merge_delta(self, delta: dict) -> None:
+        """Fold a worker's :meth:`delta` into this registry.
+
+        Counters increment, gauges adopt the worker's last value,
+        histogram buckets add element-wise.  Metrics the parent has not
+        seen yet are created with the worker's help text, so a scrape of
+        the parent after a process-parallel join shows the union.
+        """
+        for name, entry in delta.items():
+            if entry["kind"] == "counter":
+                self.counter(name, entry.get("help", "")).inc(entry["value"])
+            elif entry["kind"] == "gauge":
+                self.gauge(name, entry.get("help", "")).set(entry["value"])
+            elif entry["kind"] == "histogram":
+                buckets = tuple(entry["buckets"])
+                histogram = self.histogram(
+                    name, entry.get("help", ""), buckets=buckets
+                )
+                if histogram.buckets != buckets:
+                    raise ConfigurationError(
+                        f"histogram {name!r} delta has buckets {buckets}, "
+                        f"registry has {histogram.buckets}"
+                    )
+                for index, count in enumerate(entry["bucket_counts"]):
+                    histogram.bucket_counts[index] += count
+                histogram.sum += entry["sum"]
+                histogram.count += entry["count"]
+            else:
+                raise ConfigurationError(
+                    f"unknown metric kind {entry['kind']!r} in delta for "
+                    f"{name!r}"
+                )
+
     def reset(self) -> None:
         """Zero every metric, keeping object identity (cached handles in
         long-lived components stay valid)."""

@@ -14,6 +14,11 @@ blocks or outlives the process; ``port=0`` binds an ephemeral port
 (tests use this).  The handler reads the registry snapshot at request
 time — there is no caching — so a scrape immediately after a join sees
 its metrics.
+
+The bind interface defaults to loopback; pass ``host="0.0.0.0"`` (the
+CLI's ``--bind``) to expose the endpoint beyond the machine, and a
+``token`` to require ``Authorization: Bearer <token>`` on ``/metrics``
+(``/healthz`` stays open so liveness probes need no credentials).
 """
 
 from __future__ import annotations
@@ -32,6 +37,15 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         if self.path.split("?", 1)[0] == "/metrics":
+            if not self._authorized():
+                body = json.dumps({"error": "unauthorized"}).encode()
+                self.send_response(401)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("WWW-Authenticate", "Bearer")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+                return
             from .export import prometheus_text
 
             body = prometheus_text(self.server.registry).encode()
@@ -46,6 +60,18 @@ class _Handler(BaseHTTPRequestHandler):
                 {"error": "not found", "endpoints": ["/metrics", "/healthz"]}
             ).encode()
             self._reply(404, "application/json", body)
+
+    def _authorized(self) -> bool:
+        token = getattr(self.server, "token", None)
+        if token is None:
+            return True
+        import hmac
+
+        header = self.headers.get("Authorization", "")
+        expected = f"Bearer {token}"
+        # Constant-time comparison; a scrape credential is still a
+        # credential.
+        return hmac.compare_digest(header, expected)
 
     def _reply(self, status: int, content_type: str, body: bytes) -> None:
         self.send_response(status)
@@ -68,14 +94,23 @@ class MetricsServer:
         with MetricsServer(port=0) as server:
             print(server.url)  # e.g. http://127.0.0.1:49321
             ...                # run joins; scrape any time
+
+    ``host`` is the bind interface (loopback by default; ``"0.0.0.0"``
+    for all interfaces).  ``token``, when set, gates ``/metrics`` behind
+    ``Authorization: Bearer <token>``; ``/healthz`` stays open.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 9464,
-                 registry=None):
+                 registry=None, token: str | None = None):
         if port < 0 or port > 65535:
             raise ConfigurationError(f"invalid port {port}")
+        if token is not None and (not token or "\n" in token or "\r" in token):
+            raise ConfigurationError(
+                "token must be a non-empty single-line string"
+            )
         self.host = host
         self.requested_port = port
+        self.token = token
         self._registry = registry
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
@@ -108,6 +143,7 @@ class MetricsServer:
         self._httpd.registry = (
             self._registry if self._registry is not None else get_registry()
         )
+        self._httpd.token = self.token
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="setjoin-metrics-server",
@@ -134,6 +170,6 @@ class MetricsServer:
 
 
 def serve_metrics(host: str = "127.0.0.1", port: int = 9464,
-                  registry=None) -> MetricsServer:
+                  registry=None, token: str | None = None) -> MetricsServer:
     """Start a daemon-thread metrics server and return it."""
-    return MetricsServer(host, port, registry).start()
+    return MetricsServer(host, port, registry, token=token).start()

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from ..core.metrics import JoinMetrics
 from ..errors import ParallelExecutionError
+from ..obs.registry import get_registry
 from ..obs.trace import current_tracer
 from ..storage.pager import FileDiskManager
 from .executor import resolve_backend
@@ -66,8 +67,13 @@ def run_parallel_join(
 
     tracer = current_tracer()
     file_source = _describe_file_source(join, parts_r, parts_s)
+    # Only process workers snapshot-and-ship registry deltas: serial and
+    # thread workers share the parent's registry, so their increments
+    # are already here and a merged delta would double-count.
+    collect_metrics = backend.name == "process"
     specs = [
-        _build_spec(join, parts_r, parts_s, shard, file_source)
+        _build_spec(join, parts_r, parts_s, shard, file_source,
+                    collect_metrics)
         for shard in shards
     ]
     results = backend.run(specs, timeout=join.shard_timeout)
@@ -79,6 +85,11 @@ def run_parallel_join(
                 f"(partitions {shard.partitions}) failed with "
                 f"{result.error_type}: {result.error}"
             )
+    if collect_metrics:
+        registry = get_registry()
+        for result in sorted(results, key=lambda r: r.index):
+            if result.registry_delta:
+                registry.merge_delta(result.registry_delta)
     # Stitch the workers' serialized span trees under the parent's
     # current span (the joining phase), in shard order, so a k-way run
     # yields one coherent tree with true per-shard wall times.  Each
@@ -126,7 +137,8 @@ def _describe_file_source(join, parts_r, parts_s) -> FileSource | None:
     )
 
 
-def _build_spec(join, parts_r, parts_s, shard, file_source) -> ShardSpec:
+def _build_spec(join, parts_r, parts_s, shard, file_source,
+                collect_metrics=False) -> ShardSpec:
     inline_r: dict[int, list[tuple[int, int]]] = {}
     inline_s: dict[int, list[tuple[int, int]]] = {}
     resident = join.resident_partitions
@@ -151,4 +163,5 @@ def _build_spec(join, parts_r, parts_s, shard, file_source) -> ShardSpec:
         fail_after=join._worker_fault_after,
         index=shard.index,
         trace=current_tracer().enabled,
+        collect_metrics=collect_metrics,
     )

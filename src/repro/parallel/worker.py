@@ -77,6 +77,11 @@ class ShardSpec:
     index: int = 0
     #: build a span tree in the worker and ship it back in the result.
     trace: bool = False
+    #: snapshot the worker's metrics-registry delta into the result.
+    #: The engine sets this for the *process* backend only: serial and
+    #: thread workers share the parent's registry (their increments land
+    #: directly), so shipping a delta too would double-count.
+    collect_metrics: bool = False
 
 
 @dataclass
@@ -96,6 +101,12 @@ class ShardResult:
     #: :meth:`repro.obs.trace.Tracer.export`); empty when tracing is off.
     #: The parent stitches these under its joining-phase span.
     spans: list[dict] = field(default_factory=list)
+    #: the worker's metrics-registry delta (plain dicts from
+    #: :meth:`repro.obs.registry.MetricsRegistry.delta`); populated only
+    #: when the spec asked for it.  The engine merges these into the
+    #: parent registry, so ``/metrics`` totals are identical across
+    #: serial, thread and process backends.
+    registry_delta: dict = field(default_factory=dict)
     #: set instead of raising so the failure crosses process boundaries
     #: as data; the executor re-raises it as ParallelExecutionError.
     error: str | None = None
@@ -140,9 +151,15 @@ def run_shard(spec: ShardSpec) -> ShardResult:
     regardless of backend.
     """
     from ..core.operator import compare_block
+    from ..obs.registry import get_registry
     from ..obs.trace import NULL_TRACER, Tracer, current_tracer, use_tracer
 
     result = ShardResult(partitions=len(spec.partitions), index=spec.index)
+    registry = get_registry()
+    # Process workers inherit a copy of the parent's registry (fork) or a
+    # fresh one (spawn); baselining before any work makes the shipped
+    # delta exactly this shard's contribution either way.
+    baseline = registry.snapshot() if spec.collect_metrics else None
     started = time.perf_counter()
     disk = None
     pool = None
@@ -212,6 +229,23 @@ def run_shard(spec: ShardSpec) -> ShardResult:
             except Exception:  # noqa: BLE001 — injected faults may outlive the job
                 pass
     result.seconds = time.perf_counter() - started
+    # Worker-side registry accounting goes through the ambient registry:
+    # serial/thread workers increment the parent's metrics directly,
+    # process workers increment their own copy and ship the delta below —
+    # so the parent's totals come out backend-identical.
+    registry.counter(
+        "setjoin_worker_shards_total", "Shards executed by join workers"
+    ).inc()
+    registry.counter(
+        "setjoin_worker_partitions_total",
+        "Partition pairs joined by join workers",
+    ).inc(result.partitions)
+    registry.counter(
+        "setjoin_worker_comparisons_total",
+        "Signature comparisons performed inside join workers",
+    ).inc(result.signature_comparisons)
+    if baseline is not None:
+        result.registry_delta = registry.delta(baseline)
     shard_span.set(
         pairs=len(result.pairs),
         comparisons=result.signature_comparisons,

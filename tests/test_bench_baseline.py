@@ -174,3 +174,77 @@ class TestMain:
 
         records = read_trace_jsonl(trace)  # validates schema + linkage
         assert any(record["name"] == "join" for record in records)
+
+
+class TestHistory:
+    def test_append_and_load_roundtrip(self, baseline, snapshot, tmp_path):
+        path = str(tmp_path / "BENCH_history.jsonl")
+        assert baseline.load_history(path) == []  # missing file = no history
+        baseline.append_history(snapshot, path)
+        baseline.append_history(snapshot, path)
+        history = baseline.load_history(path)
+        assert len(history) == 2
+        assert all("recorded_at" in record for record in history)
+        assert history[0]["workloads"] == snapshot["workloads"]
+
+    def test_rolling_median_is_per_workload(self, baseline, snapshot):
+        history = []
+        for factor in (1.0, 2.0, 3.0):
+            run = copy.deepcopy(snapshot)
+            for record in run["workloads"].values():
+                record["wall_seconds"] *= factor
+            history.append(run)
+        medians = baseline.rolling_medians(history, snapshot)
+        for name, record in snapshot["workloads"].items():
+            assert medians[name] == pytest.approx(
+                record["wall_seconds"] * 2.0
+            )
+
+    def test_rolling_median_window_drops_old_runs(self, baseline, snapshot):
+        slow = copy.deepcopy(snapshot)
+        for record in slow["workloads"].values():
+            record["wall_seconds"] *= 100.0
+        history = [slow] + [copy.deepcopy(snapshot) for __ in range(5)]
+        medians = baseline.rolling_medians(history, snapshot, window=5)
+        for name, record in snapshot["workloads"].items():
+            assert medians[name] == pytest.approx(record["wall_seconds"])
+
+    def test_incompatible_history_is_ignored(self, baseline, snapshot):
+        foreign = copy.deepcopy(snapshot)
+        foreign["scale"] = snapshot["scale"] * 3
+        assert baseline.rolling_medians([foreign], snapshot) == {}
+
+    def test_sustained_slowdown_fails_the_rolling_check(
+        self, baseline, snapshot
+    ):
+        fast_history = []
+        for __ in range(5):
+            run = copy.deepcopy(snapshot)
+            for record in run["workloads"].values():
+                record["wall_seconds"] /= 2.0
+            fast_history.append(run)
+        failures = baseline.check_regression(
+            snapshot, snapshot, history=fast_history
+        )
+        assert failures, "2x above the rolling median must be flagged"
+        assert all("rolling median" in failure for failure in failures)
+        # counters_only (the CI mode) skips the rolling timing check too.
+        assert baseline.check_regression(
+            snapshot, snapshot, counters_only=True, history=fast_history
+        ) == []
+
+    def test_main_appends_history_and_checks_against_it(
+        self, baseline, tmp_path, capsys
+    ):
+        out = str(tmp_path / "BENCH_joins.json")
+        history = str(tmp_path / "BENCH_history.jsonl")
+        assert baseline.main([
+            "--out", out, "--scale", "0.1", "--history", history,
+        ]) == 0
+        # Second run: check against the first snapshot AND the history.
+        assert baseline.main([
+            "--out", out, "--scale", "0.1", "--history", history,
+            "--check", out, "--counters-only",
+        ]) == 0
+        assert len(baseline.load_history(history)) == 2
+        assert "history: run 2 appended" in capsys.readouterr().out

@@ -250,3 +250,92 @@ class TestPlanInspectorFlags:
             ["db", "x.db", "stats", "--serve", "--port", "0"]
         )
         assert db_arguments.serve and db_arguments.port == 0
+
+
+class TestAdaptiveFlags:
+    def test_recalibrate_requires_analyze_and_drift(self, set_files, capsys):
+        r_path, s_path = set_files
+        assert main([
+            "join", r_path, s_path, "--analyze", "--recalibrate",
+        ]) == 2
+        assert "--recalibrate requires" in capsys.readouterr().err
+
+    def test_recalibrate_reports_thin_history(
+        self, set_files, capsys, tmp_path
+    ):
+        r_path, s_path = set_files
+        drift = str(tmp_path / "drift.jsonl")
+        assert main([
+            "join", r_path, s_path, "--algorithm", "dcj", "--partitions", "4",
+            "--analyze", "--drift", drift, "--recalibrate",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "# recalibration: history too thin" in err
+
+    def test_model_store_survives_across_invocations(
+        self, set_files, capsys, tmp_path
+    ):
+        from repro.analysis.timemodel import TimeModel
+        from repro.obs.adaptive import ModelStore
+
+        r_path, s_path = set_files
+        store_path = str(tmp_path / "models.json")
+        store = ModelStore(store_path)
+        store.add_version(
+            TimeModel(1e-6, 2e-6, 0.7), records=24, window=200,
+            mean_abs_error_before=0.5, mean_abs_error_after=0.01,
+            wall=lambda: 1.0,
+        )
+        assert main([
+            "join", r_path, s_path, "--algorithm", "dcj", "--partitions", "4",
+            "--model-store", store_path,
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "planning with recalibrated model v1" in err
+
+    def test_explain_with_drift_history_shows_corrections(
+        self, set_files, capsys, tmp_path
+    ):
+        from repro.analysis.timemodel import PAPER_TIME_MODEL
+        from repro.obs.drift import DriftRecord, append_drift_jsonl
+
+        r_path, s_path = set_files
+        drift = str(tmp_path / "drift.jsonl")
+        for i in range(20):
+            predicted = PAPER_TIME_MODEL.predict(1000.0, 100.0, 4)
+            append_drift_jsonl(DriftRecord(
+                timestamp=float(i), algorithm="DCJ", k=4,
+                r_size=4, s_size=4,
+                predicted={"seconds": predicted, "comparisons": 1000.0,
+                           "replicated": 100.0},
+                observed={"seconds": predicted * 2, "comparisons": 1000.0,
+                          "replicated": 100.0},
+                errors={"seconds": 0.5, "comparisons": 0.0,
+                        "replicated": 0.0},
+            ), drift)
+        assert main([
+            "join", r_path, s_path, "--algorithm", "dcj", "--partitions", "4",
+            "--explain", "--drift", drift,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "corrected" in out
+        assert "drift_correction" in out
+
+    def test_join_parser_accepts_adaptive_flags(self):
+        from repro.cli import build_parser
+
+        arguments = build_parser().parse_args([
+            "join", "r.txt", "s.txt", "--analyze", "--drift", "d.jsonl",
+            "--recalibrate", "--model-store", "m.json",
+        ])
+        assert arguments.recalibrate
+        assert arguments.model_store == "m.json"
+
+    def test_serve_parser_accepts_bind_alias_and_token(self):
+        from repro.cli import build_parser
+
+        arguments = build_parser().parse_args(
+            ["serve", "--bind", "0.0.0.0", "--token", "s3cret"]
+        )
+        assert arguments.host == "0.0.0.0"
+        assert arguments.token == "s3cret"

@@ -207,3 +207,68 @@ class TestFilePersistence:
             db.create_relation("r2", lhs)
         with SetJoinDatabase.open(path) as db:
             assert sorted(db.relation_names()) == ["r2", "s"]
+
+
+class TestAdaptivePlanning:
+    def test_model_store_supplies_the_planning_model(self, relations):
+        from repro.analysis.timemodel import PAPER_TIME_MODEL, TimeModel
+        from repro.obs.adaptive import ModelStore
+
+        lhs, rhs = relations
+        store = ModelStore()
+        store.add_version(
+            TimeModel(2 * PAPER_TIME_MODEL.c1, 2 * PAPER_TIME_MODEL.c2,
+                      PAPER_TIME_MODEL.c3),
+            records=24, window=200,
+            mean_abs_error_before=0.5, mean_abs_error_after=0.0,
+            wall=lambda: 1.0,
+        )
+        with SetJoinDatabase.open(model_store=store) as db:
+            db.create_relation("r", lhs)
+            db.create_relation("s", rhs)
+            assert db.model == store.active
+            plan = db.plan("r", "s")
+            # Doubling both linear coefficients doubles every candidate's
+            # predicted time but cannot change the argmin.
+            baseline = db.plan("r", "s")
+            assert plan.algorithm == baseline.algorithm
+
+    def test_refresh_model_follows_external_recalibration(
+        self, relations, tmp_path
+    ):
+        from repro.analysis.timemodel import PAPER_TIME_MODEL, TimeModel
+        from repro.obs.adaptive import ModelStore
+
+        lhs, rhs = relations
+        store_path = str(tmp_path / "models.json")
+        with SetJoinDatabase.open(model_store=store_path) as db:
+            db.create_relation("r", lhs)
+            db.create_relation("s", rhs)
+            assert db.model == PAPER_TIME_MODEL  # nothing refitted yet
+            # An external process (e.g. `repro join --recalibrate`)
+            # writes a new version into the same store file.
+            external = ModelStore(store_path)
+            fitted = TimeModel(1e-6, 2e-6, 0.7)
+            external.add_version(
+                fitted, records=24, window=200,
+                mean_abs_error_before=0.5, mean_abs_error_after=0.01,
+                wall=lambda: 1.0,
+            )
+            db.model_store._load(store_path)  # long-lived session re-reads
+            assert db.refresh_model() == fitted
+            # plan() re-adopts automatically on every call.
+            assert db.plan("r", "s") is not None
+            assert db.model == fitted
+
+    def test_plan_accepts_drift_history(self, relations):
+        lhs, rhs = relations
+        with SetJoinDatabase.open() as db:
+            db.create_relation("r", lhs)
+            db.create_relation("s", rhs)
+            baseline = db.plan("r", "s")
+            loser = "PSJ" if baseline.algorithm == "DCJ" else "DCJ"
+            flipped = db.plan(
+                "r", "s",
+                drift_history={baseline.algorithm: 50.0, loser: 1.0},
+            )
+            assert flipped.algorithm == loser

@@ -208,3 +208,79 @@ class TestRecordJoin:
         record_join(metrics, registry)
         assert metrics.signature_comparisons == 5000
         assert metrics.joining.seconds == 1.0
+
+
+class TestSnapshotDeltaMerge:
+    """The multiprocess aggregation protocol: snapshot → delta → merge."""
+
+    def build(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "c").inc(10)
+        registry.gauge("g", "g").set(2.5)
+        registry.histogram("h", "h", buckets=(1.0, 5.0)).observe(0.5)
+        return registry
+
+    def test_snapshot_is_plain_data(self):
+        snapshot = self.build().snapshot()
+        assert snapshot["c_total"] == {
+            "kind": "counter", "help": "c", "value": 10,
+        }
+        assert snapshot["g"]["kind"] == "gauge"
+        assert snapshot["h"]["bucket_counts"] == [1, 0]
+        assert snapshot["h"]["count"] == 1
+
+    def test_delta_contains_only_changes(self):
+        registry = self.build()
+        baseline = registry.snapshot()
+        registry.counter("c_total", "c").inc(5)
+        registry.histogram("h", "h", buckets=(1.0, 5.0)).observe(3.0)
+        delta = registry.delta(baseline)
+        assert delta["c_total"]["value"] == 5
+        assert delta["h"]["bucket_counts"] == [0, 1]
+        assert delta["h"]["count"] == 1
+        assert "g" not in delta  # unchanged gauge is omitted
+
+    def test_delta_against_empty_baseline_is_everything(self):
+        registry = self.build()
+        delta = registry.delta({})
+        assert delta["c_total"]["value"] == 10
+        assert delta["g"]["value"] == 2.5
+
+    def test_merge_delta_adds_counters_and_histograms(self):
+        parent = self.build()
+        worker = self.build()
+        baseline = worker.snapshot()
+        worker.counter("c_total", "c").inc(7)
+        worker.counter("new_total", "n").inc(2)
+        worker.histogram("h", "h", buckets=(1.0, 5.0)).observe(9.0)
+        worker.gauge("g", "g").set(4.0)
+        parent.merge_delta(worker.delta(baseline))
+        assert parent.counter("c_total", "c").value == 17
+        assert parent.counter("new_total", "n").value == 2
+        assert parent.gauge("g", "g").value == 4.0
+        histogram = parent.histogram("h", "h", buckets=(1.0, 5.0))
+        assert histogram.count == 2
+        assert histogram.sum == pytest.approx(9.5)
+
+    def test_merge_rejects_bucket_mismatch(self):
+        parent = self.build()
+        other = MetricsRegistry()
+        other.histogram("h", "h", buckets=(2.0, 4.0)).observe(1.0)
+        with pytest.raises(ConfigurationError):
+            parent.merge_delta(other.delta({}))
+
+    def test_merge_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().merge_delta(
+                {"x": {"kind": "summary", "help": "", "value": 1}}
+            )
+
+    def test_roundtrip_is_lossless(self):
+        """parent + (worker − baseline) == the serial-equivalent totals."""
+        parent = self.build()
+        worker = self.build()  # fork: worker starts as a copy of parent
+        baseline = worker.snapshot()
+        worker.counter("c_total", "c").inc(3)
+        parent.merge_delta(worker.delta(baseline))
+        # The worker's pre-fork counts must NOT be double-counted.
+        assert parent.counter("c_total", "c").value == 13

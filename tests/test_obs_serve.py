@@ -125,3 +125,66 @@ class TestDriftOnMetrics:
         assert "setjoin_drift_records_total 1" in body
         assert "setjoin_drift_last_seconds_relative_error" in body
         assert "setjoin_drift_seconds_abs_error_bucket" in body
+
+
+class TestBearerTokenAuth:
+    def fetch_with_header(self, url, header=None):
+        request = urllib.request.Request(url)
+        if header is not None:
+            request.add_header("Authorization", header)
+        with urllib.request.urlopen(request, timeout=5.0) as response:
+            return response.status, response.read().decode()
+
+    def test_metrics_requires_the_token(self, registry):
+        with MetricsServer(port=0, registry=registry, token="s3cret") as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(server.url + "/metrics")
+        assert excinfo.value.code == 401
+        assert excinfo.value.headers["WWW-Authenticate"] == "Bearer"
+        assert json.loads(excinfo.value.read().decode()) == {
+            "error": "unauthorized"
+        }
+
+    def test_correct_bearer_token_passes(self, registry):
+        with MetricsServer(port=0, registry=registry, token="s3cret") as server:
+            status, body = self.fetch_with_header(
+                server.url + "/metrics", "Bearer s3cret"
+            )
+        assert status == 200
+        assert "setjoin_joins_total 3" in body
+
+    def test_wrong_token_rejected(self, registry):
+        with MetricsServer(port=0, registry=registry, token="s3cret") as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self.fetch_with_header(server.url + "/metrics", "Bearer nope")
+        assert excinfo.value.code == 401
+
+    def test_healthz_stays_open_for_liveness_probes(self, registry):
+        with MetricsServer(port=0, registry=registry, token="s3cret") as server:
+            status, __, body = fetch(server.url + "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_no_token_keeps_the_endpoint_open(self, registry):
+        with MetricsServer(port=0, registry=registry) as server:
+            status, __, __ = fetch(server.url + "/metrics")
+        assert status == 200
+
+    def test_malformed_tokens_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="token"):
+            MetricsServer(port=0, token="")
+        with pytest.raises(ConfigurationError, match="token"):
+            MetricsServer(port=0, token="two\nlines")
+
+    def test_serve_metrics_helper_threads_the_token(self, registry):
+        server = serve_metrics(port=0, registry=registry, token="t0k3n")
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(server.url + "/metrics")
+            assert excinfo.value.code == 401
+            status, __ = self.fetch_with_header(
+                server.url + "/metrics", "Bearer t0k3n"
+            )
+            assert status == 200
+        finally:
+            server.stop()
