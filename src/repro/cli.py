@@ -6,7 +6,9 @@ Commands:
                     (``--explain`` / ``--analyze`` for the plan inspector)
 * ``plan``       -- run the optimizer's 5-step selection procedure only
 * ``experiment`` -- regenerate one of the paper's figures/tables
-* ``serve``      -- expose process metrics over HTTP (Prometheus format)
+* ``serve``      -- expose process metrics over HTTP (Prometheus format),
+                    or with ``--service DB`` the long-lived query service
+                    (admission control, deadlines, retries, /join + /probe)
 * ``demo``       -- the Section 2 worked example, end to end
 
 Set files are plain text: one set per line, whitespace-separated
@@ -274,6 +276,8 @@ def _wait_forever() -> None:
 
 
 def _cmd_serve(arguments) -> int:
+    if arguments.service is not None:
+        return _cmd_serve_service(arguments)
     from .obs.serve import MetricsServer
 
     server = MetricsServer(arguments.host, arguments.port,
@@ -285,6 +289,44 @@ def _cmd_serve(arguments) -> int:
         _wait_forever()
     finally:
         server.stop()
+    return 0
+
+
+def _cmd_serve_service(arguments) -> int:
+    """The long-lived query service: ``repro serve --service DB``."""
+    from .service import QueryService, ServiceServer
+
+    service = QueryService(
+        arguments.service,
+        workers=arguments.workers,
+        backend=arguments.backend,
+        queue_depth=arguments.queue_depth,
+        default_deadline=arguments.deadline,
+        drift_path=arguments.drift,
+        recalibrate_every=arguments.recalibrate_every,
+        model_store=arguments.model_store,
+        trace_path=arguments.trace,
+    )
+    service.start()
+    service.install_signal_handlers()
+    server = ServiceServer(service, arguments.host, arguments.port,
+                           token=arguments.token).start()
+    print(f"query service on {server.url} — POST /join, POST /probe, "
+          f"GET /readyz, /healthz, /metrics "
+          f"(workers={arguments.workers}, backend={arguments.backend}, "
+          f"queue={arguments.queue_depth}; SIGTERM or Ctrl-C drains)",
+          file=sys.stderr)
+    try:
+        # Blocks until a SIGTERM/SIGINT-triggered drain completes.
+        service.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        # The signal handlers already drain; this covers other exits and
+        # is a no-op when the service is stopped.
+        service.stop()
+        print("drained and stopped", file=sys.stderr)
     return 0
 
 
@@ -556,7 +598,9 @@ def build_parser() -> argparse.ArgumentParser:
     database.set_defaults(handler=_cmd_db)
 
     serve = commands.add_parser(
-        "serve", help="serve process metrics over HTTP (Prometheus format)"
+        "serve",
+        help="serve process metrics over HTTP, or (with --service) the "
+        "full query service",
     )
     serve.add_argument("--host", "--bind", dest="host", default="127.0.0.1",
                        help="bind interface (default loopback; 0.0.0.0 = "
@@ -566,6 +610,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--token", default=None,
                        help="require 'Authorization: Bearer TOKEN' on "
                        "/metrics (/healthz stays open)")
+    serve.add_argument("--service", metavar="DATABASE", default=None,
+                       help="serve the query service over this database "
+                       "file (POST /join, /probe; GET /readyz)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="parallel workers per join (default 2)")
+    serve.add_argument("--backend", default="thread",
+                       choices=("serial", "thread", "process"),
+                       help="preferred execution backend; the circuit "
+                       "breaker degrades it when it keeps failing")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="admission queue depth; beyond this, queries "
+                       "are shed with HTTP 429 (default 64)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="default per-query deadline in seconds "
+                       "(default: none)")
+    serve.add_argument("--drift", metavar="JSONL", default=None,
+                       help="record per-join drift to this JSONL file "
+                       "(rotated/compacted on startup)")
+    serve.add_argument("--recalibrate-every", type=int, default=None,
+                       help="with --drift and --model-store: attempt a "
+                       "model refit every N joins")
+    serve.add_argument("--model-store", metavar="JSON", default=None,
+                       help="versioned time-model store for the "
+                       "recalibration loop")
+    serve.add_argument("--trace", metavar="JSONL", default=None,
+                       help="append per-query span traces to this JSONL "
+                       "file")
     serve.set_defaults(handler=_cmd_serve)
 
     stats = commands.add_parser("stats", help="summarize set files")

@@ -197,6 +197,7 @@ class SetContainmentJoin:
         workers: int = 1,
         parallel_backend: str = "serial",
         shard_timeout: float | None = None,
+        shard_hook=None,
         tracer=None,
     ):
         """Configure the operator.
@@ -285,6 +286,10 @@ class SetContainmentJoin:
         self.workers = workers
         self.parallel_backend = parallel_backend
         self.shard_timeout = shard_timeout
+        #: optional callable receiving every ShardSpec just before
+        #: dispatch; the chaos layer (repro.service.chaos) uses it to arm
+        #: per-shard delays, I/O faults and worker kills.
+        self.shard_hook = shard_hook
         self.tracer = tracer
         #: test hook threaded into parallel workers: fail the worker's own
         #: disk manager after N physical I/Os (see repro.parallel.worker).

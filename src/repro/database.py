@@ -314,6 +314,10 @@ class SetJoinDatabase:
         signature_bits: int = DEFAULT_SIGNATURE_BITS,
         engine: str = "numpy",
         seed: int = 0,
+        workers: int = 1,
+        backend: str = "serial",
+        shard_timeout: float | None = None,
+        shard_hook=None,
         tracer=None,
     ) -> tuple[set[tuple[int, int]], JoinMetrics]:
         """Set containment join of two stored relations (R ⊆ S side order).
@@ -321,6 +325,13 @@ class SetJoinDatabase:
         Runs directly over the stored B-trees; temporary partition data is
         written into the same file and reclaimed afterwards.  ``tracer``
         records a span tree of the run (see :mod:`repro.obs`).
+
+        ``workers``/``backend``/``shard_timeout`` engage the
+        partition-parallel engine exactly as on
+        :class:`~repro.core.operator.SetContainmentJoin`; the query
+        service uses ``shard_timeout`` to propagate per-query deadlines
+        down to the shard level and ``shard_hook`` to inject chaos.
+        Results are bit-identical at any worker count.
         """
         self._check_open()
         if algorithm == "auto":
@@ -347,7 +358,9 @@ class SetJoinDatabase:
         )
         join = SetContainmentJoin(
             testbed, partitioner, signature_bits=signature_bits,
-            engine=engine, tracer=tracer,
+            engine=engine, workers=workers, parallel_backend=backend,
+            shard_timeout=shard_timeout, shard_hook=shard_hook,
+            tracer=tracer,
         )
         pairs, metrics = join.run(cold_cache=False)
         # Publish to the process registry so long-lived sessions (and the
@@ -356,6 +369,22 @@ class SetJoinDatabase:
 
         record_join(metrics)
         return pairs, metrics
+
+    def probe(self, name: str, elements: Iterable[int]) -> list[int]:
+        """Point containment probe: tids of stored sets ⊇ ``elements``.
+
+        The service's cheap read-only query class — a single scan of one
+        relation, no partitioning, no temporary pages.  An empty probe
+        set matches every tuple (∅ ⊆ anything), mirroring the join's
+        containment semantics.
+        """
+        self._check_open()
+        query = frozenset(elements)
+        store = self.get_store(name)
+        return [
+            tid for tid, stored, __ in store.scan()
+            if query.issubset(stored)
+        ]
 
     # ------------------------------------------------------------------
     # Observability

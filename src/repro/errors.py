@@ -55,7 +55,31 @@ class ParallelExecutionError(SetJoinError):
     exceptions (``BrokenProcessPool``, ``TimeoutError``) so callers can
     handle worker failures with the same ``except SetJoinError`` they
     already use for serial joins.
+
+    ``kind`` classifies the failure for retry layers:
+
+    * ``"timeout"`` — a shard exceeded the batch's shard timeout.  The
+      batch is abandoned, not preempted: queued shards are cancelled,
+      but a shard already running on the *thread* backend cannot be
+      interrupted and runs to completion in the background on the
+      pool's (now shut down) worker thread; a shard on the *process*
+      backend keeps running in its worker process until the pool's
+      processes exit.  Abandoned shards only touch their own read-only
+      storage views, so they cannot corrupt state — they just burn CPU.
+    * ``"worker_death"`` — a worker process died mid-shard (OOM kill,
+      injected chaos, crash); the pool is broken and was discarded.
+    * ``"shard_error"`` — the shard itself raised (e.g. an injected
+      I/O fault); the error crossed the process boundary as data.
+    * ``"startup"`` — the backend could not start on this platform.
+
+    All four are transient from a retry layer's point of view — a fresh
+    attempt builds a fresh pool — which is exactly how
+    :mod:`repro.service.retry` treats them.
     """
+
+    def __init__(self, message: str, kind: str = "shard_error"):
+        super().__init__(message)
+        self.kind = kind
 
 
 class MemoryLimitExceeded(SetJoinError):
@@ -69,3 +93,35 @@ class MemoryLimitExceeded(SetJoinError):
 
 class CalibrationError(SetJoinError):
     """The time-model calibration could not fit the measured data points."""
+
+
+class ServiceError(SetJoinError):
+    """Base class for long-lived query-service failures.
+
+    Every admitted query either completes or fails with a subclass of
+    this (or another :class:`SetJoinError`); the service never lets a
+    bare backend exception reach a client.
+    """
+
+
+class AdmissionRejected(ServiceError):
+    """The admission queue was full and the query was shed.
+
+    Shedding is deliberate back-pressure, not a malfunction: the client
+    should back off and retry (HTTP 429 on the service front end).
+    """
+
+
+class ServiceUnavailable(ServiceError):
+    """The service is not accepting queries (starting, draining or
+    stopped).  Maps to HTTP 503; ``/readyz`` reports the same state."""
+
+
+class DeadlineExceeded(ServiceError):
+    """A query's deadline elapsed before it finished.
+
+    Raised whether the deadline expired while the query waited in the
+    admission queue or while it executed (the remaining budget
+    propagates into the parallel engine as the shard timeout).  Maps to
+    HTTP 504.
+    """

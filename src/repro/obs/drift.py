@@ -28,6 +28,7 @@ paper's headline number is the mean of the absolute values.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -41,6 +42,8 @@ __all__ = [
     "read_drift_jsonl",
     "summarize_drift",
     "calibration_residuals",
+    "environment_fingerprint",
+    "rotate_drift_jsonl",
 ]
 
 #: Keys compared between prediction and observation, in reporting order.
@@ -223,6 +226,99 @@ def summarize_drift(records: "list[DriftRecord]") -> dict:
             "bias": sum(errors) / len(errors),
             "max_abs_error": max(abs(e) for e in errors),
         }
+    return out
+
+
+def environment_fingerprint() -> dict:
+    """Identity of the environment producing drift records.
+
+    Drift history steers recalibration, and recalibration only makes
+    sense against measurements from *this* machine and interpreter: a
+    history carried over from another host (copied database directory,
+    container rebuild, Python upgrade) would teach the model the wrong
+    constants.  The fingerprint captures the dimensions that move the
+    time model's c1/c2/c3.
+    """
+    import platform
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def rotate_drift_jsonl(
+    path: str,
+    max_bytes: int = 4 * 1024 * 1024,
+    keep: int = 2000,
+    fingerprint: dict | None = None,
+) -> dict:
+    """Size-cap and environment-stamp a drift history file in place.
+
+    Called by the query service on startup so a long-lived installation
+    never grows its history unboundedly.  Two independent actions:
+
+    * **Fingerprint check** — a sidecar ``<path>.meta.json`` records the
+      environment that produced the history.  When the stored
+      fingerprint differs from the current one, the whole history is
+      moved aside to ``<path>.stale`` (it describes another machine's
+      timing, worse than no data) and a fresh meta file is written.
+    * **Compaction** — when the file exceeds ``max_bytes``, only the
+      newest ``keep`` records are kept (rewritten atomically via
+      ``os.replace``); the recalibrator only reads recent windows
+      anyway.  Malformed lines are dropped during compaction.
+
+    Returns a summary dict: ``{"archived": bool, "rotated": bool,
+    "kept": int, "dropped": int}``.  A missing history file is a no-op
+    apart from writing the meta sidecar.
+    """
+    fingerprint = (
+        fingerprint if fingerprint is not None else environment_fingerprint()
+    )
+    meta_path = path + ".meta.json"
+    out = {"archived": False, "rotated": False, "kept": 0, "dropped": 0}
+
+    stored = None
+    if os.path.exists(meta_path):
+        try:
+            with open(meta_path) as handle:
+                stored = json.load(handle).get("fingerprint")
+        except (OSError, ValueError):
+            stored = None  # unreadable meta: treat as foreign history
+
+    if os.path.exists(path) and stored is not None and stored != fingerprint:
+        os.replace(path, path + ".stale")
+        out["archived"] = True
+
+    if os.path.exists(path) and os.path.getsize(path) > max_bytes:
+        records = []
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(DriftRecord.from_dict(json.loads(line)))
+                except (ValueError, ConfigurationError):
+                    continue  # compaction sheds malformed lines
+        kept = records[-keep:] if keep > 0 else []
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            for record in kept:
+                handle.write(json.dumps(record.to_dict(), sort_keys=True)
+                             + "\n")
+        os.replace(tmp, path)
+        out["rotated"] = True
+        out["kept"] = len(kept)
+        out["dropped"] = len(records) - len(kept)
+
+    with open(meta_path, "w") as handle:
+        json.dump(
+            {"fingerprint": fingerprint, "stamped": time.time()},
+            handle, sort_keys=True,
+        )
     return out
 
 

@@ -32,6 +32,19 @@ from ..errors import ConfigurationError
 __all__ = ["MetricsServer", "serve_metrics"]
 
 
+class _Server(ThreadingHTTPServer):
+    """The listening socket, tuned for rapid stop/start cycles.
+
+    ``SO_REUSEADDR`` (via ``allow_reuse_address``) lets a restarted
+    server rebind a port whose previous socket is still in TIME_WAIT —
+    without it, test suites and service restarts that reuse a fixed port
+    hit ``EADDRINUSE`` for up to a minute.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+
 class _Handler(BaseHTTPRequestHandler):
     server_version = "setjoin-metrics/1.0"
 
@@ -98,7 +111,17 @@ class MetricsServer:
     ``host`` is the bind interface (loopback by default; ``"0.0.0.0"``
     for all interfaces).  ``token``, when set, gates ``/metrics`` behind
     ``Authorization: Bearer <token>``; ``/healthz`` stays open.
+
+    Lifecycle is restart-safe: ``stop()`` is idempotent (concurrent or
+    repeated calls are no-ops), ``start()`` after ``stop()`` rebinds the
+    same port immediately (the listening socket sets ``SO_REUSEADDR``),
+    and ``start()`` while running raises rather than leaking a second
+    socket.
     """
+
+    #: the request handler; subclasses (the query service's front end)
+    #: override this to add routes while inheriting the lifecycle.
+    handler_class = _Handler
 
     def __init__(self, host: str = "127.0.0.1", port: int = 9464,
                  registry=None, token: str | None = None):
@@ -114,6 +137,10 @@ class MetricsServer:
         self._registry = registry
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
+        # Serializes start()/stop(): without it two racing stop() calls
+        # both see _httpd non-None and the loser shuts down a dead server
+        # (AttributeError on None after the winner cleared the fields).
+        self._lifecycle = threading.Lock()
 
     @property
     def port(self) -> int:
@@ -131,36 +158,48 @@ class MetricsServer:
         return self._thread is not None and self._thread.is_alive()
 
     def start(self) -> "MetricsServer":
-        """Bind and serve on a daemon thread; returns self."""
-        if self._httpd is not None:
-            raise ConfigurationError("metrics server is already running")
+        """Bind and serve on a daemon thread; returns self.
+
+        Safe to call again after :meth:`stop` (restart); raises while
+        already running.
+        """
         from .registry import get_registry
 
-        self._httpd = ThreadingHTTPServer(
-            (self.host, self.requested_port), _Handler
-        )
-        self._httpd.daemon_threads = True
-        self._httpd.registry = (
-            self._registry if self._registry is not None else get_registry()
-        )
-        self._httpd.token = self.token
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever,
-            name="setjoin-metrics-server",
-            daemon=True,
-        )
-        self._thread.start()
+        with self._lifecycle:
+            if self._httpd is not None:
+                raise ConfigurationError("metrics server is already running")
+            self._httpd = _Server(
+                (self.host, self.requested_port), self.handler_class
+            )
+            self._httpd.registry = (
+                self._registry if self._registry is not None
+                else get_registry()
+            )
+            self._httpd.token = self.token
+            self._configure_server(self._httpd)
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="setjoin-metrics-server",
+                daemon=True,
+            )
+            self._thread.start()
         return self
 
+    def _configure_server(self, httpd) -> None:
+        """Subclass hook: attach extra state to the bound server object."""
+
     def stop(self) -> None:
-        if self._httpd is None:
+        """Shut down and release the port; idempotent and thread-safe."""
+        with self._lifecycle:
+            httpd, thread = self._httpd, self._thread
+            self._httpd = None
+            self._thread = None
+        if httpd is None:
             return
-        self._httpd.shutdown()
-        self._httpd.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-        self._httpd = None
-        self._thread = None
+        httpd.shutdown()
+        httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
 
     def __enter__(self) -> "MetricsServer":
         return self.start()

@@ -76,6 +76,12 @@ def run_parallel_join(
                     collect_metrics)
         for shard in shards
     ]
+    # The chaos hook (see repro.service.chaos) gets one look at every
+    # spec before dispatch; it may arm delays, I/O faults, or kills.
+    shard_hook = getattr(join, "shard_hook", None)
+    if shard_hook is not None:
+        for spec in specs:
+            shard_hook(spec)
     results = backend.run(specs, timeout=join.shard_timeout)
 
     for shard, result in zip(shards, results):
@@ -151,6 +157,8 @@ def _build_spec(join, parts_r, parts_s, shard, file_source,
         elif file_source is None:
             inline_r[partition] = list(parts_r.scan_partition(partition))
             inline_s[partition] = list(parts_s.scan_partition(partition))
+    import os
+
     return ShardSpec(
         partitions=list(shard.partitions),
         engine=join.engine,
@@ -161,6 +169,7 @@ def _build_spec(join, parts_r, parts_s, shard, file_source,
         inline_r=inline_r,
         inline_s=inline_s,
         fail_after=join._worker_fault_after,
+        parent_pid=os.getpid(),
         index=shard.index,
         trace=current_tracer().enabled,
         collect_metrics=collect_metrics,

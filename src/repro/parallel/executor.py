@@ -16,6 +16,7 @@ exceptions like ``BrokenProcessPool``.
 from __future__ import annotations
 
 import concurrent.futures
+import time
 from typing import Sequence
 
 from ..errors import ConfigurationError, ParallelExecutionError
@@ -80,28 +81,57 @@ class _PoolBackend(ExecutionBackend):
     def run(
         self, specs: Sequence[ShardSpec], timeout: float | None = None
     ) -> list[ShardResult]:
+        """Run all shards; ``timeout`` is a batch deadline in seconds.
+
+        The deadline starts when the batch is dispatched and covers the
+        whole batch (all shards run concurrently, so one budget bounds
+        the caller's wait).  On expiry every not-yet-started future is
+        cancelled and the pool is shut down with ``cancel_futures``;
+        shards already running cannot be preempted and are *abandoned*
+        — see :class:`~repro.errors.ParallelExecutionError` for the
+        exact semantics per backend.
+        """
         try:
             pool = self._make_pool()
         except Exception as error:  # noqa: BLE001 — platform-dependent startup
             raise ParallelExecutionError(
-                f"could not start {self.name} backend: {error}"
+                f"could not start {self.name} backend: {error}",
+                kind="startup",
             ) from error
         try:
             futures = [pool.submit(run_shard, spec) for spec in specs]
+            deadline = (
+                None if timeout is None else time.monotonic() + timeout
+            )
             results = []
             for index, future in enumerate(futures):
                 try:
-                    results.append(future.result(timeout=timeout))
+                    remaining = None
+                    if deadline is not None:
+                        remaining = max(0.0, deadline - time.monotonic())
+                    results.append(future.result(timeout=remaining))
                 except concurrent.futures.TimeoutError:
-                    for pending in futures[index:]:
-                        pending.cancel()
+                    cancelled = sum(
+                        1 for pending in futures[index:] if pending.cancel()
+                    )
+                    abandoned = len(futures) - index - cancelled
                     raise ParallelExecutionError(
                         f"shard {index} exceeded its {timeout:.3f}s timeout "
-                        f"on the {self.name} backend"
+                        f"on the {self.name} backend ({cancelled} queued "
+                        f"shard(s) cancelled, {abandoned} running shard(s) "
+                        "abandoned — they finish in the background but "
+                        "their results are discarded)",
+                        kind="timeout",
                     ) from None
                 except concurrent.futures.process.BrokenProcessPool as error:
                     raise ParallelExecutionError(
-                        f"{self.name} backend worker died: {error}"
+                        f"{self.name} backend worker died: {error}",
+                        kind="worker_death",
+                    ) from error
+                except concurrent.futures.BrokenExecutor as error:
+                    raise ParallelExecutionError(
+                        f"{self.name} backend pool broke: {error}",
+                        kind="worker_death",
                     ) from error
             return results
         finally:

@@ -73,6 +73,17 @@ class ShardSpec:
     inline_s: dict[int, list[tuple[int, int]]] = field(default_factory=dict)
     #: test hook: fail the worker's disk manager after N physical I/Os.
     fail_after: int | None = None
+    #: chaos: sleep this long before joining (a "slow shard"; with a
+    #: shard timeout armed this is how timeouts are provoked on demand).
+    chaos_delay: float = 0.0
+    #: chaos: die mid-shard.  In a worker *process* this is a hard
+    #: ``os._exit`` (the parent sees a broken pool, exactly like an OOM
+    #: kill); in the parent process (serial/thread backends) it raises
+    #: :class:`~repro.storage.faults.SimulatedWorkerDeath` instead.
+    chaos_kill: bool = False
+    #: pid of the dispatching process, so ``chaos_kill`` can tell a real
+    #: worker process from an in-process (serial/thread) shard.
+    parent_pid: int = 0
     #: this shard's index in the schedule (labels spans and results).
     index: int = 0
     #: build a span tree in the worker and ship it back in the result.
@@ -178,6 +189,10 @@ def run_shard(spec: ShardSpec) -> ShardResult:
     )
     try:
         with use_tracer(tracer):
+            if spec.chaos_delay > 0:
+                time.sleep(spec.chaos_delay)
+            if spec.chaos_kill:
+                _chaos_die(spec)
             parts_r = parts_s = None
             if spec.file_source is not None:
                 disk, pool = _open_file_source(spec)
@@ -256,6 +271,25 @@ def run_shard(spec: ShardSpec) -> ShardResult:
     tracer.finish(shard_span)
     result.spans = tracer.export()
     return result
+
+
+def _chaos_die(spec: ShardSpec) -> None:
+    """Kill this worker, the way the chaos layer asked for.
+
+    Only a genuine worker *process* (pid differs from the dispatcher's)
+    hard-exits; an in-process shard raises a typed error instead, so the
+    serial and thread backends survive their own chaos.
+    """
+    import os
+
+    from ..storage.faults import SimulatedWorkerDeath
+
+    if spec.parent_pid and os.getpid() != spec.parent_pid:
+        os._exit(86)  # noqa: SLF001 — a chaos kill must skip all cleanup
+    raise SimulatedWorkerDeath(
+        f"chaos killed the worker for shard {spec.index} "
+        "(simulated in-process: serial/thread backend)"
+    )
 
 
 def _open_file_source(spec: ShardSpec):

@@ -1,0 +1,135 @@
+"""Chaos injection for the query service.
+
+:mod:`repro.storage.faults` proved the *disk substrate* survives torn
+writes and bit rot; this module generalizes that discipline one level
+up, to the *system*: workers that die mid-shard, shards that stall, and
+I/O that fails under load.  A :class:`ChaosInjector` plugs into the
+parallel engine's shard hook (every :class:`~repro.parallel.worker.ShardSpec`
+passes through it just before dispatch) and, with configured
+probabilities, arms one of three faults:
+
+* **worker kill** — ``spec.chaos_kill``: a worker process hard-exits
+  (``os._exit``), which the parent sees as a broken pool — exactly an
+  OOM kill; on in-process backends the death is simulated with
+  :class:`~repro.storage.faults.SimulatedWorkerDeath`.
+* **shard delay** — ``spec.chaos_delay``: the shard sleeps before
+  joining, modelling a straggler; with a shard timeout armed this is
+  how deadline propagation is exercised.
+* **I/O fault** — ``spec.fail_after``: the worker's own
+  :class:`~repro.storage.faults.FaultInjectingDiskManager` fails after a
+  budget of physical I/Os (file-backed shards only — an inline shard has
+  no disk to fail, so the injector falls through to the other modes).
+
+All randomness comes from one seeded generator, so a chaotic run is
+*replayable*: the same seed over the same workload arms the same faults
+in the same order.  Injection counts are published as
+``setjoin_chaos_*_total`` counters and kept on the injector for the
+load harness's report.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["ChaosConfig", "ChaosInjector"]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-shard fault probabilities (each in [0, 1]) and magnitudes.
+
+    Rates are evaluated in order kill → delay → I/O fault per shard, at
+    most one fault per shard, so the harness's error-rate bound is a
+    simple function of the configured rates.
+    """
+
+    worker_kill_rate: float = 0.0
+    shard_delay_rate: float = 0.0
+    delay_seconds: float = 0.05
+    io_fault_rate: float = 0.0
+    io_fault_after: int = 0
+
+    def __post_init__(self):
+        for name in ("worker_kill_rate", "shard_delay_rate", "io_fault_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {rate}"
+                )
+        if self.delay_seconds < 0:
+            raise ConfigurationError("delay_seconds must be >= 0")
+        if self.io_fault_after < 0:
+            raise ConfigurationError("io_fault_after must be >= 0")
+
+
+class ChaosInjector:
+    """Seeded, toggleable fault source; use as the engine's shard hook.
+
+    Starts disarmed; :meth:`arm`/:meth:`disarm` toggle injection so the
+    harness can take a clean baseline, wreak havoc, then verify a final
+    clean pass through the same code path.
+    """
+
+    def __init__(self, config: ChaosConfig, seed: int = 0, registry=None):
+        from ..obs.registry import get_registry
+
+        self.config = config
+        self.rng = random.Random(seed)
+        self.armed = False
+        registry = registry if registry is not None else get_registry()
+        self._kill_counter = registry.counter(
+            "setjoin_chaos_worker_kills_total",
+            "Worker kills armed by the chaos injector",
+        )
+        self._delay_counter = registry.counter(
+            "setjoin_chaos_shard_delays_total",
+            "Shard delays armed by the chaos injector",
+        )
+        self._io_counter = registry.counter(
+            "setjoin_chaos_io_faults_total",
+            "Worker I/O faults armed by the chaos injector",
+        )
+        self.kills = 0
+        self.delays = 0
+        self.io_faults = 0
+
+    def arm(self) -> "ChaosInjector":
+        self.armed = True
+        return self
+
+    def disarm(self) -> None:
+        self.armed = False
+
+    @property
+    def injected(self) -> int:
+        """Total faults armed so far (harness bookkeeping)."""
+        return self.kills + self.delays + self.io_faults
+
+    def __call__(self, spec) -> None:
+        """The shard hook: maybe arm one fault on this spec."""
+        if not self.armed:
+            return
+        config = self.config
+        roll = self.rng.random()
+        if roll < config.worker_kill_rate:
+            spec.chaos_kill = True
+            self.kills += 1
+            self._kill_counter.inc()
+            return
+        roll -= config.worker_kill_rate
+        if roll < config.shard_delay_rate:
+            spec.chaos_delay = config.delay_seconds
+            self.delays += 1
+            self._delay_counter.inc()
+            return
+        roll -= config.shard_delay_rate
+        if roll < config.io_fault_rate and spec.file_source is not None:
+            # Only file-backed shards own a disk manager to fail; inline
+            # shards fall through unharmed (the kill/delay modes still
+            # cover them).
+            spec.fail_after = config.io_fault_after
+            self.io_faults += 1
+            self._io_counter.inc()

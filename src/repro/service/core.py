@@ -1,0 +1,515 @@
+"""The long-lived query service over :class:`~repro.database.SetJoinDatabase`.
+
+Every join so far was a one-shot CLI/library call; :class:`QueryService`
+is the resident process the ROADMAP asks for.  Architecture:
+
+* **Admission** — a bounded :class:`~repro.service.queue.AdmissionQueue`
+  in front of a single *execution lane* thread.  The storage substrate
+  (buffer pool, temporary partition pages) is single-writer, so queries
+  execute one at a time; intra-query parallelism comes from the
+  partition-parallel engine (``workers``/``backend``).  A full queue
+  sheds with :class:`~repro.errors.AdmissionRejected` — overload
+  degrades into fast 429s, never unbounded memory.
+* **Deadlines** — per-query, measured from admission.  The remaining
+  budget at execution time propagates into the parallel engine as the
+  shard timeout, and bounds the retry loop's backoff sleeps; an expired
+  deadline surfaces as :class:`~repro.errors.DeadlineExceeded` whether
+  it elapsed queued or running.
+* **Retries + circuit breaker** — transient shard failures (worker
+  death, timeout, injected I/O fault) are retried with exponential
+  backoff + jitter (:mod:`.retry`); repeated failures trip a per-backend
+  circuit breaker that degrades ``process`` → ``thread`` → ``serial``.
+  The join kernel is deterministic, so a retried success is bit-identical
+  to an untroubled run.
+* **Observability** — ``setjoin_service_*`` gauges/counters/histograms
+  in the process registry; optional per-query span traces appended to a
+  JSONL file; optional per-join drift records feeding the PR-5 closed
+  calibration loop (with periodic recalibration under sustained
+  traffic).  The drift history is rotated/compacted on startup
+  (:func:`~repro.obs.drift.rotate_drift_jsonl`).
+* **Shutdown** — ``stop()`` (or SIGTERM via
+  :meth:`install_signal_handlers`) moves READY → DRAINING (``/readyz``
+  flips, new submits are rejected), finishes or rejects the queue, then
+  closes the database — the WAL-safe half of crash safety; the
+  SIGKILL half is WAL recovery on next open, which the chaos harness
+  exercises.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+from ..database import SetJoinDatabase
+from ..errors import (
+    AdmissionRejected,
+    ConfigurationError,
+    DeadlineExceeded,
+    ServiceError,
+    ServiceUnavailable,
+    SetJoinError,
+)
+from .queue import AdmissionQueue, Query, QueryTicket
+from .retry import BackendLadder, RetryPolicy, run_with_retries
+
+__all__ = ["ServiceState", "QueryService"]
+
+#: Latency buckets for the per-query histogram (seconds).
+_LATENCY_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0
+)
+
+
+class ServiceState:
+    STARTING = "starting"
+    READY = "ready"
+    DRAINING = "draining"
+    STOPPED = "stopped"
+
+    _ORDER = {STARTING: 0, READY: 1, DRAINING: 2, STOPPED: 3}
+
+
+class QueryService:
+    """Admission-controlled, deadline-aware join service.
+
+    ``database`` is a path (the service opens and owns it — closed on
+    :meth:`stop`) or an open :class:`SetJoinDatabase` (borrowed — the
+    caller keeps ownership).  ``workers``/``backend`` configure the
+    partition-parallel engine per join; ``backend`` is the *preferred*
+    rung of the degradation ladder.  ``chaos`` is an optional
+    :class:`~repro.service.chaos.ChaosInjector` (or any shard-hook
+    callable) threaded into every parallel join.
+
+    ``clock``/``sleep``/``rng`` are injectable for deterministic tests;
+    the clock must be monotonic.
+    """
+
+    def __init__(
+        self,
+        database: "SetJoinDatabase | str | None",
+        *,
+        workers: int = 2,
+        backend: str = "thread",
+        queue_depth: int = 64,
+        default_deadline: float | None = None,
+        shard_timeout: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 5.0,
+        chaos=None,
+        drift_path: str | None = None,
+        drift_max_bytes: int = 4 * 1024 * 1024,
+        recalibrate_every: int | None = None,
+        model_store=None,
+        trace_path: str | None = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+        rng: random.Random | None = None,
+        registry=None,
+    ):
+        from ..obs.registry import get_registry
+
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if default_deadline is not None and default_deadline <= 0:
+            raise ConfigurationError("default_deadline must be positive")
+        if isinstance(database, SetJoinDatabase):
+            self.db = database
+            self._owns_db = False
+        else:
+            self.db = SetJoinDatabase.open(database, model_store=model_store)
+            self._owns_db = True
+        self.workers = workers
+        self.backend = backend
+        self.default_deadline = default_deadline
+        self.shard_timeout = shard_timeout
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.chaos = chaos
+        self.drift_path = drift_path
+        self.drift_max_bytes = drift_max_bytes
+        self.recalibrate_every = recalibrate_every
+        self.trace_path = trace_path
+        self._clock = clock
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+        self._registry = (
+            registry if registry is not None else get_registry()
+        )
+        self._queue = AdmissionQueue(queue_depth, registry=self._registry)
+        self._ladder = BackendLadder(
+            backend, failure_threshold=breaker_threshold,
+            cooldown=breaker_cooldown, clock=clock, registry=self._registry,
+        )
+        self._state = ServiceState.STARTING
+        self._state_lock = threading.Lock()
+        self._stopped = threading.Event()
+        self._lane: threading.Thread | None = None
+        self._joins_since_recalibration = 0
+        self._trace_lock = threading.Lock()
+
+        reg = self._registry
+        self._state_gauge = reg.gauge(
+            "setjoin_service_state",
+            "Service lifecycle (0 starting, 1 ready, 2 draining, 3 stopped)",
+        )
+        self._inflight = reg.gauge(
+            "setjoin_service_inflight", "Queries currently executing"
+        )
+        self._completed = reg.counter(
+            "setjoin_service_completed_total", "Queries answered successfully"
+        )
+        self._failed = reg.counter(
+            "setjoin_service_failed_total",
+            "Queries rejected with a typed error after admission",
+        )
+        self._deadline_counter = reg.counter(
+            "setjoin_service_deadline_exceeded_total",
+            "Queries that ran out of deadline (queued or executing)",
+        )
+        self._retries = reg.counter(
+            "setjoin_service_retries_total",
+            "Transient shard failures retried by the service",
+        )
+        self._latency = reg.histogram(
+            "setjoin_service_query_seconds",
+            "Admission-to-answer latency per query",
+            buckets=_LATENCY_BUCKETS,
+        )
+        self._set_state(ServiceState.STARTING)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _set_state(self, state: str) -> None:
+        self._state = state
+        self._state_gauge.set(ServiceState._ORDER[state])
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def ready(self) -> bool:
+        return self._state == ServiceState.READY
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def start(self) -> "QueryService":
+        """Rotate operational state, spawn the execution lane, go READY."""
+        with self._state_lock:
+            if self._state != ServiceState.STARTING:
+                raise ConfigurationError(
+                    f"cannot start a service in state {self._state!r}"
+                )
+            if self.drift_path is not None:
+                from ..obs.drift import rotate_drift_jsonl
+
+                self.drift_rotation = rotate_drift_jsonl(
+                    self.drift_path, max_bytes=self.drift_max_bytes
+                )
+            self._lane = threading.Thread(
+                target=self._run_lane, name="setjoin-service-lane", daemon=True
+            )
+            self._lane.start()
+            self._set_state(ServiceState.READY)
+        return self
+
+    def stop(self, drain: bool = True, timeout: float | None = 30.0) -> None:
+        """Graceful shutdown: DRAINING → (drain or reject) → STOPPED.
+
+        With ``drain=True`` every already-admitted query is answered
+        before the lane exits; with ``drain=False`` queued queries are
+        rejected immediately with :class:`ServiceUnavailable` (the one
+        in flight still finishes — the lane is never killed mid-write,
+        which is what keeps shutdown WAL-safe).  Idempotent.
+        """
+        with self._state_lock:
+            if self._state in (ServiceState.STOPPED,):
+                return
+            self._set_state(ServiceState.DRAINING)
+        if drain:
+            self._queue.close()
+        else:
+            for ticket in self._queue.drain_now():
+                self._failed.inc()
+                ticket.reject(ServiceUnavailable(
+                    "service is draining; query rejected before execution"
+                ))
+        if self._lane is not None:
+            self._lane.join(timeout)
+            if self._lane.is_alive():
+                raise ServiceError(
+                    f"execution lane still busy after {timeout}s drain"
+                )
+        with self._state_lock:
+            if self._owns_db:
+                self.db.close()
+            self._set_state(ServiceState.STOPPED)
+        self._stopped.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the service reaches STOPPED (the CLI's main loop:
+        a SIGTERM-triggered drain wakes this up)."""
+        return self._stopped.wait(timeout)
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to a graceful drain (CLI entry point)."""
+        import signal
+
+        def _handle(signum, frame):  # noqa: ARG001 (signal API)
+            self.stop(drain=True)
+
+        signal.signal(signal.SIGTERM, _handle)
+        signal.signal(signal.SIGINT, _handle)
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self, kind: str, deadline: float | None = None, **params
+    ) -> QueryTicket:
+        """Admit a query; returns its ticket or raises a typed error.
+
+        ``deadline`` is seconds from now (defaults to the service's
+        ``default_deadline``; ``None`` = unbounded).  Raises
+        :class:`ServiceUnavailable` unless READY and
+        :class:`AdmissionRejected` when the queue sheds.
+        """
+        if self._state != ServiceState.READY:
+            raise ServiceUnavailable(
+                f"service is {self._state}, not accepting queries"
+            )
+        if deadline is None:
+            deadline = self.default_deadline
+        if deadline is not None and deadline <= 0:
+            raise ConfigurationError("deadline must be positive seconds")
+        now = self._clock()
+        query = Query(
+            kind=kind,
+            params=params,
+            deadline=None if deadline is None else now + deadline,
+            admitted_at=now,
+        )
+        ticket = QueryTicket(query)
+        if not self._queue.offer(ticket):
+            if self._queue.closed:
+                raise ServiceUnavailable("service is draining")
+            raise AdmissionRejected(
+                f"admission queue full ({self._queue.depth} queued); "
+                "back off and retry"
+            )
+        return ticket
+
+    # Synchronous conveniences (the load generator uses submit directly).
+
+    def join(self, r_name: str, s_name: str, deadline: float | None = None,
+             timeout: float | None = None, **params):
+        """Admit a full join and wait for ``(pairs, metrics)``."""
+        ticket = self.submit("join", deadline=deadline, r=r_name, s=s_name,
+                             **params)
+        return ticket.result(timeout)
+
+    def probe(self, name: str, elements, deadline: float | None = None,
+              timeout: float | None = None) -> list[int]:
+        """Admit a point containment probe and wait for matching tids."""
+        ticket = self.submit("probe", deadline=deadline, name=name,
+                             elements=list(elements))
+        return ticket.result(timeout)
+
+    def create_relation(self, name: str, rows,
+                        timeout: float | None = None) -> int:
+        """Catalog churn: WAL-transactional create through the lane."""
+        ticket = self.submit("create", name=name, rows=rows)
+        return ticket.result(timeout)
+
+    def drop_relation(self, name: str, timeout: float | None = None) -> None:
+        ticket = self.submit("drop", name=name)
+        return ticket.result(timeout)
+
+    # ------------------------------------------------------------------
+    # The execution lane
+    # ------------------------------------------------------------------
+
+    def _run_lane(self) -> None:
+        while True:
+            ticket = self._queue.take(timeout=0.05)
+            if ticket is None:
+                if self._queue.closed:
+                    return
+                continue
+            self._inflight.set(1)
+            try:
+                result = self._execute(ticket)
+            except SetJoinError as error:
+                if isinstance(error, DeadlineExceeded):
+                    self._deadline_counter.inc()
+                self._failed.inc()
+                ticket.reject(error)
+            except BaseException as error:  # noqa: BLE001 — lane must survive
+                self._failed.inc()
+                ticket.reject(ServiceError(
+                    f"internal error executing query "
+                    f"{ticket.query_id}: {error!r}"
+                ))
+            else:
+                self._completed.inc()
+                ticket.resolve(result)
+            finally:
+                ticket.seconds = self._clock() - ticket.query.admitted_at
+                self._latency.observe(max(ticket.seconds, 0.0))
+                self._inflight.set(0)
+
+    def _remaining(self, query: Query) -> float | None:
+        """Seconds of deadline left; raises when already spent."""
+        if query.deadline is None:
+            return None
+        remaining = query.deadline - self._clock()
+        if remaining <= 0:
+            raise DeadlineExceeded(
+                f"query {query.query_id} ({query.kind}) deadline elapsed "
+                f"{-remaining:.3f}s ago"
+            )
+        return remaining
+
+    def _execute(self, ticket: QueryTicket):
+        query = ticket.query
+        self._remaining(query)  # expired while queued → typed rejection
+        if query.kind == "join":
+            return self._execute_join(ticket)
+        if query.kind == "probe":
+            return self.db.probe(
+                query.params["name"], query.params["elements"]
+            )
+        if query.kind == "create":
+            return self.db.create_relation(
+                query.params["name"], query.params["rows"]
+            )
+        if query.kind == "drop":
+            return self.db.drop_relation(query.params["name"])
+        raise ConfigurationError(f"unknown query kind {query.kind!r}")
+
+    def _execute_join(self, ticket: QueryTicket):
+        query = ticket.query
+        params = query.params
+        r_name, s_name = params["r"], params["s"]
+        algorithm = params.get("algorithm", "auto")
+        num_partitions = params.get("num_partitions")
+        prediction = None
+        if self.drift_path is not None and algorithm == "auto":
+            # Plan explicitly so the prediction that drove the choice is
+            # in hand for the drift record afterwards.
+            plan = self.db.plan(r_name, s_name,
+                                drift_history=self._drift_history())
+            prediction = plan.prediction(self.db.model)
+            algorithm, num_partitions = plan.algorithm, plan.k
+
+        tracer = None
+        if self.trace_path is not None:
+            from ..obs.trace import Tracer
+
+            tracer = Tracer()
+
+        def attempt(backend: str):
+            remaining = self._remaining(query)
+            shard_timeout = self.shard_timeout
+            if remaining is not None:
+                shard_timeout = (
+                    remaining if shard_timeout is None
+                    else min(shard_timeout, remaining)
+                )
+            ticket.attempts += 1
+            return self.db.join(
+                r_name, s_name,
+                algorithm=algorithm,
+                num_partitions=num_partitions,
+                workers=self.workers,
+                backend=backend if self.workers > 1 else "serial",
+                shard_timeout=shard_timeout,
+                shard_hook=self.chaos,
+                tracer=tracer,
+                **{k: v for k, v in params.items()
+                   if k in ("signature_bits", "engine", "seed")},
+            )
+
+        pairs, metrics = run_with_retries(
+            attempt, self.retry_policy, ladder=self._ladder,
+            deadline=query.deadline, clock=self._clock, sleep=self._sleep,
+            rng=self._rng,
+            on_retry=lambda __, ___: self._retries.inc(),
+        )
+        if prediction is not None:
+            self._record_drift(prediction, metrics)
+        if tracer is not None:
+            self._append_trace(tracer)
+        return pairs, metrics
+
+    # ------------------------------------------------------------------
+    # The closed loop under traffic
+    # ------------------------------------------------------------------
+
+    def _drift_history(self):
+        import os
+
+        if self.drift_path is None or not os.path.exists(self.drift_path):
+            return None
+        return self.drift_path
+
+    def _record_drift(self, prediction: dict, metrics) -> None:
+        from ..obs.drift import append_drift_jsonl, compute_drift, record_drift
+
+        record = compute_drift(prediction, metrics)
+        record_drift(record, registry=self._registry)
+        append_drift_jsonl(record, self.drift_path)
+        if self.recalibrate_every:
+            self._joins_since_recalibration += 1
+            if self._joins_since_recalibration >= self.recalibrate_every:
+                self._joins_since_recalibration = 0
+                self._maybe_recalibrate()
+
+    def _maybe_recalibrate(self) -> None:
+        from ..obs.adaptive import Recalibrator
+
+        store = self.db.model_store
+        if store is None:
+            return
+        outcome = Recalibrator(store=store).maybe_recalibrate(self.drift_path)
+        if outcome.refit:
+            self.db.refresh_model()
+
+    def _append_trace(self, tracer) -> None:
+        import json
+
+        from ..obs.export import span_records
+
+        with self._trace_lock, open(self.trace_path, "a") as handle:
+            for record in span_records(tracer):
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Service-level snapshot for ``/readyz`` and the CLI."""
+        return {
+            "state": self._state,
+            "queue_depth": len(self._queue),
+            "workers": self.workers,
+            "preferred_backend": self.backend,
+            "effective_backend": self._ladder.select(),
+            "breakers": {
+                name: breaker.state
+                for name, breaker in self._ladder.breakers.items()
+            },
+        }

@@ -1,0 +1,274 @@
+"""Load generator + correctness oracle for the query service.
+
+Replays a mixed workload — full containment joins, point probes,
+catalog churn — against a running :class:`~repro.service.core.QueryService`
+at a configurable QPS, while a
+:class:`~repro.service.chaos.ChaosInjector` (armed by the caller) kills
+workers, delays shards and injects I/O faults underneath it.
+
+The harness is an *oracle*, not just a traffic source: before the run it
+computes the expected answer for every query shape through the same
+service with chaos disarmed (joins and probes are deterministic, so one
+clean pass pins the truth), then classifies every chaotic outcome:
+
+* **ok** — answered, bit-identical to the expected answer;
+* **wrong** — answered, *different* from the expected answer.  The
+  paper's kernel plus the retry layer promise this is impossible;
+  :meth:`LoadReport.assert_no_wrong_answers` is the chaos suite's core
+  assertion;
+* **shed / unavailable / deadline_exceeded / failed** — cleanly
+  rejected with the corresponding typed error.  Acceptable under
+  chaos; *unclassified* exceptions are not, and are re-raised.
+
+Pacing and randomness are injectable (``clock``/``sleep``/``seed``) so
+CI runs are deterministic and fast.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from ..errors import (
+    AdmissionRejected,
+    ConfigurationError,
+    DeadlineExceeded,
+    ServiceUnavailable,
+    SetJoinError,
+)
+from .core import QueryService
+
+__all__ = ["WorkloadMix", "LoadReport", "LoadGenerator"]
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Relative weights of the three query classes."""
+
+    join: float = 0.2
+    probe: float = 0.7
+    churn: float = 0.1
+
+    def __post_init__(self):
+        if min(self.join, self.probe, self.churn) < 0:
+            raise ConfigurationError("workload weights must be >= 0")
+        if self.join + self.probe + self.churn <= 0:
+            raise ConfigurationError("workload mix must have positive mass")
+
+    def pick(self, rng: random.Random) -> str:
+        roll = rng.random() * (self.join + self.probe + self.churn)
+        if roll < self.join:
+            return "join"
+        if roll < self.join + self.probe:
+            return "probe"
+        return "churn"
+
+
+@dataclass
+class LoadReport:
+    """Tally of one load run, by outcome class."""
+
+    submitted: int = 0
+    ok: int = 0
+    wrong: int = 0
+    shed: int = 0
+    unavailable: int = 0
+    deadline_exceeded: int = 0
+    failed: int = 0
+    retried_queries: int = 0
+    wrong_details: list = field(default_factory=list)
+
+    @property
+    def answered(self) -> int:
+        return self.ok + self.wrong
+
+    @property
+    def accounted(self) -> int:
+        """Every submitted query must land in exactly one bucket."""
+        return (self.answered + self.shed + self.unavailable
+                + self.deadline_exceeded + self.failed)
+
+    def assert_no_wrong_answers(self) -> None:
+        if self.wrong:
+            raise AssertionError(
+                f"{self.wrong} wrong answer(s) under chaos: "
+                f"{self.wrong_details[:3]}"
+            )
+        if self.accounted != self.submitted:
+            raise AssertionError(
+                f"query accounting leak: {self.submitted} submitted but "
+                f"{self.accounted} accounted for"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted": self.submitted, "ok": self.ok, "wrong": self.wrong,
+            "shed": self.shed, "unavailable": self.unavailable,
+            "deadline_exceeded": self.deadline_exceeded,
+            "failed": self.failed, "retried_queries": self.retried_queries,
+        }
+
+
+class LoadGenerator:
+    """Drive a service with a seeded mixed workload and check every answer.
+
+    ``r_name``/``s_name`` are the stored relations joined and probed.
+    ``probe_count`` distinct probe queries are derived from ``s``'s
+    stored sets (so most probes have non-empty answers).  Churn queries
+    create then drop ``scratch_<n>`` relations with a known row count.
+
+    Call :meth:`prepare` once while chaos is *disarmed* to pin expected
+    answers, then :meth:`run` (any number of times) with chaos armed.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        r_name: str,
+        s_name: str,
+        *,
+        qps: float = 50.0,
+        mix: WorkloadMix | None = None,
+        probe_count: int = 8,
+        deadline: float | None = None,
+        seed: int = 0,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ):
+        if qps <= 0:
+            raise ConfigurationError(f"qps must be positive, got {qps}")
+        self.service = service
+        self.r_name = r_name
+        self.s_name = s_name
+        self.qps = qps
+        self.mix = mix if mix is not None else WorkloadMix()
+        self.probe_count = probe_count
+        self.deadline = deadline
+        self.rng = random.Random(seed)
+        self._clock = clock
+        self._sleep = sleep
+        self._scratch = 0
+        self.expected_pairs: "set[tuple[int, int]] | None" = None
+        self.expected_probes: "list[tuple[list[int], list[int]]]" = []
+
+    # ------------------------------------------------------------------
+
+    def prepare(self) -> "LoadGenerator":
+        """Pin expected answers with a clean pass (chaos must be off)."""
+        pairs, __ = self.service.join(self.r_name, self.s_name)
+        self.expected_pairs = set(pairs)
+        self.expected_probes = []
+        store = self.service.db.get_store(self.s_name)
+        stored = [elements for __, elements, __ in store.scan()]
+        for index in range(self.probe_count):
+            if stored and index % 2 == 0:
+                # Subset of a stored set: guaranteed at least one match.
+                source = sorted(self.rng.choice(stored))
+                size = max(1, len(source) // 2)
+                elements = sorted(self.rng.sample(source, size))
+            else:
+                elements = sorted(
+                    self.rng.sample(range(1, 5001), self.rng.randint(2, 6))
+                )
+            expected = self.service.probe(self.s_name, elements)
+            self.expected_probes.append((elements, expected))
+        return self
+
+    # ------------------------------------------------------------------
+
+    def run(self, queries: int) -> LoadReport:
+        """Submit ``queries`` paced queries, wait, classify everything."""
+        if self.expected_pairs is None:
+            raise ConfigurationError(
+                "call prepare() before run() to pin expected answers"
+            )
+        report = LoadReport()
+        pending: "list[tuple[str, object, object]]" = []
+        interval = 1.0 / self.qps
+        for __ in range(queries):
+            kind = self.mix.pick(self.rng)
+            try:
+                pending.append(self._submit(kind))
+            except AdmissionRejected:
+                report.shed += 1
+            except ServiceUnavailable:
+                report.unavailable += 1
+            report.submitted += 1
+            self._sleep(interval)
+        for kind, expected, ticket in pending:
+            self._classify(report, kind, expected, ticket)
+        return report
+
+    def _submit(self, kind: str):
+        service = self.service
+        if kind == "join":
+            ticket = service.submit(
+                "join", deadline=self.deadline,
+                r=self.r_name, s=self.s_name,
+            )
+            return ("join", self.expected_pairs, ticket)
+        if kind == "probe":
+            elements, expected = self.rng.choice(self.expected_probes)
+            ticket = service.submit(
+                "probe", deadline=self.deadline,
+                name=self.s_name, elements=list(elements),
+            )
+            return ("probe", expected, ticket)
+        # Churn: a create immediately chased by its drop; FIFO ordering
+        # in the single lane guarantees the create lands first.
+        self._scratch += 1
+        name = f"scratch_{self._scratch}"
+        rows = [(tid, [tid, tid + 1, tid + 2]) for tid in range(1, 6)]
+        create = service.submit("create", name=name, rows=rows)
+        drop = service.submit("drop", name=name)
+        return ("churn", (create, len(rows)), drop)
+
+    def _classify(self, report: LoadReport, kind: str, expected,
+                  ticket) -> None:
+        try:
+            if kind == "churn":
+                create_ticket, expected_count = expected
+                count = create_ticket.result(timeout=60.0)
+                ticket.result(timeout=60.0)  # the drop
+                answer, expected = count, expected_count
+            else:
+                answer = ticket.result(timeout=60.0)
+                if kind == "join":
+                    answer = set(answer[0])  # (pairs, metrics)
+        except AdmissionRejected:
+            report.shed += 1
+            return
+        except DeadlineExceeded:
+            report.deadline_exceeded += 1
+            return
+        except ServiceUnavailable:
+            report.unavailable += 1
+            return
+        except SetJoinError:
+            report.failed += 1
+            return
+        if getattr(ticket, "attempts", 0) > 1:
+            report.retried_queries += 1
+        if kind == "probe":
+            answer = sorted(answer)
+            expected = sorted(expected)
+        if answer == expected:
+            report.ok += 1
+        else:
+            report.wrong += 1
+            report.wrong_details.append({
+                "kind": kind,
+                "query_id": ticket.query_id,
+                "expected": _preview(expected),
+                "answer": _preview(answer),
+            })
+
+
+def _preview(value, limit: int = 5):
+    """Shorten huge answers in wrong-answer diagnostics."""
+    if isinstance(value, (set, frozenset)):
+        value = sorted(value)
+    if isinstance(value, list) and len(value) > limit:
+        return value[:limit] + [f"... {len(value) - limit} more"]
+    return value

@@ -1,0 +1,278 @@
+"""Retries with exponential backoff + jitter, and a circuit breaker.
+
+Transient shard failures — a worker process OOM-killed mid-shard, a
+slow shard tripping its timeout, an injected I/O fault — all surface as
+:class:`~repro.errors.ParallelExecutionError`.  Because the join is
+deterministic (same inputs, same partitioner seed ⇒ bit-identical
+pairs and x/y accounting), simply running the query again is *correct*,
+not just convenient; :func:`run_with_retries` is that loop.
+
+Repeated failures are a signal, not noise: the :class:`CircuitBreaker`
+counts consecutive failures per execution backend and, once tripped,
+the :class:`BackendLadder` degrades the service to the next-sturdier
+backend (``process`` → ``thread`` → ``serial``) until the breaker's
+cooldown lets a half-open probe try the preferred backend again.
+
+Clocks, sleeps and randomness are injectable throughout so every branch
+is deterministically testable.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, ParallelExecutionError
+
+__all__ = [
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BackendLadder",
+    "DEGRADATION_ORDER",
+    "run_with_retries",
+]
+
+#: Degradation chain: each backend's fallback when its breaker is open.
+#: ``serial`` is the floor — in-process, no pool, nothing left to kill.
+DEGRADATION_ORDER = {"process": "thread", "thread": "serial", "serial": None}
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter.
+
+    Attempt ``n`` (1-based) sleeps ``min(max_delay, base_delay *
+    multiplier**(n-1))`` scaled by a uniform jitter in
+    ``[1 - jitter, 1]`` — full jitter decorrelates retry storms when
+    many queued queries hit the same dying worker pool.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1 = first retry)."""
+        raw = min(
+            self.max_delay, self.base_delay * self.multiplier ** (attempt - 1)
+        )
+        return raw * (1.0 - self.jitter * rng.random())
+
+
+class CircuitBreaker:
+    """Per-backend failure circuit: closed → open → half-open.
+
+    ``failure_threshold`` consecutive failures open the circuit; while
+    open, :meth:`allows` is ``False`` (the ladder degrades past this
+    backend).  After ``cooldown`` seconds the circuit half-opens: one
+    probe is allowed through, and its outcome closes or re-opens the
+    circuit.  State is published as ``setjoin_service_breaker_state``
+    (0 closed, 1 half-open, 2 open) per backend-named gauge.
+    """
+
+    CLOSED, HALF_OPEN, OPEN = "closed", "half_open", "open"
+
+    def __init__(
+        self,
+        backend: str,
+        failure_threshold: int = 3,
+        cooldown: float = 5.0,
+        clock=time.monotonic,
+        registry=None,
+    ):
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        from ..obs.registry import get_registry
+
+        self.backend = backend
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._failures = 0
+        self._state = self.CLOSED
+        self._opened_at = 0.0
+        registry = registry if registry is not None else get_registry()
+        self._state_gauge = registry.gauge(
+            f"setjoin_service_breaker_{backend}_state",
+            f"Circuit state for the {backend} backend "
+            "(0 closed, 1 half-open, 2 open)",
+        )
+        self._trips = registry.counter(
+            f"setjoin_service_breaker_{backend}_trips_total",
+            f"Times the {backend} backend circuit opened",
+        )
+        self._publish()
+
+    def _publish(self) -> None:
+        self._state_gauge.set(
+            {self.CLOSED: 0, self.HALF_OPEN: 1, self.OPEN: 2}[self._state]
+        )
+
+    @property
+    def state(self) -> str:
+        self._maybe_half_open()
+        return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.cooldown
+        ):
+            self._state = self.HALF_OPEN
+            self._publish()
+
+    def allows(self) -> bool:
+        """Whether a query may use this backend right now."""
+        self._maybe_half_open()
+        return self._state != self.OPEN
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._state = self.CLOSED
+        self._publish()
+
+    def record_failure(self) -> None:
+        self._maybe_half_open()
+        self._failures += 1
+        if self._state == self.HALF_OPEN:
+            # The probe failed: straight back to open, restart cooldown.
+            self._state = self.OPEN
+            self._opened_at = self._clock()
+            self._trips.inc()
+        elif (
+            self._state == self.CLOSED
+            and self._failures >= self.failure_threshold
+        ):
+            self._state = self.OPEN
+            self._opened_at = self._clock()
+            self._trips.inc()
+        self._publish()
+
+
+class BackendLadder:
+    """Chooses the effective backend: preferred unless its circuit is open.
+
+    One breaker per backend in the degradation chain.  ``select``
+    returns the first backend down the chain whose breaker allows
+    traffic (``serial`` always does — it has no pool to break, so its
+    breaker exists only for accounting).
+    """
+
+    def __init__(
+        self,
+        preferred: str,
+        failure_threshold: int = 3,
+        cooldown: float = 5.0,
+        clock=time.monotonic,
+        registry=None,
+    ):
+        if preferred not in DEGRADATION_ORDER:
+            raise ConfigurationError(
+                f"unknown backend {preferred!r}; expected one of "
+                f"{tuple(DEGRADATION_ORDER)}"
+            )
+        from ..obs.registry import get_registry
+
+        registry = registry if registry is not None else get_registry()
+        self.preferred = preferred
+        self.breakers: dict[str, CircuitBreaker] = {}
+        backend: str | None = preferred
+        while backend is not None:
+            self.breakers[backend] = CircuitBreaker(
+                backend, failure_threshold, cooldown, clock=clock,
+                registry=registry,
+            )
+            backend = DEGRADATION_ORDER[backend]
+        self._degraded = registry.counter(
+            "setjoin_service_backend_degraded_total",
+            "Queries executed on a degraded backend because the "
+            "preferred backend's circuit was open",
+        )
+
+    def select(self) -> str:
+        backend: str | None = self.preferred
+        while backend is not None:
+            if self.breakers[backend].allows():
+                if backend != self.preferred:
+                    self._degraded.inc()
+                return backend
+            backend = DEGRADATION_ORDER[backend]
+        return "serial"  # unreachable: serial never degrades past itself
+
+    def record_success(self, backend: str) -> None:
+        if backend in self.breakers:
+            self.breakers[backend].record_success()
+
+    def record_failure(self, backend: str) -> None:
+        if backend in self.breakers:
+            self.breakers[backend].record_failure()
+
+
+def run_with_retries(
+    operation,
+    policy: RetryPolicy,
+    *,
+    ladder: BackendLadder | None = None,
+    backend: str | None = None,
+    deadline: float | None = None,
+    clock=time.monotonic,
+    sleep=time.sleep,
+    rng: random.Random | None = None,
+    on_retry=None,
+) -> object:
+    """Run ``operation(backend)`` until it succeeds or the policy gives up.
+
+    ``operation`` receives the effective backend name (from ``ladder``,
+    or the fixed ``backend``) and must raise
+    :class:`ParallelExecutionError` on transient failure — anything else
+    propagates immediately (a planner bug is not retryable).  ``deadline``
+    is an absolute ``clock()`` timestamp bounding the whole loop
+    including backoff sleeps.  ``on_retry(attempt, error)`` is invoked
+    before each backoff (metrics hook).
+
+    Returns whatever ``operation`` returns.  Because the join kernel is
+    deterministic, a retried success is bit-identical to an untroubled
+    run — tests pin this.
+    """
+    rng = rng if rng is not None else random.Random()
+    attempt = 0
+    while True:
+        attempt += 1
+        effective = ladder.select() if ladder is not None else backend
+        try:
+            result = operation(effective)
+        except ParallelExecutionError as error:
+            if ladder is not None:
+                ladder.record_failure(effective)
+            if attempt >= policy.max_attempts:
+                raise
+            pause = policy.delay(attempt, rng)
+            if deadline is not None:
+                remaining = deadline - clock()
+                if remaining <= pause:
+                    # No budget left for another attempt; surface the
+                    # underlying failure (the caller maps an exhausted
+                    # deadline to DeadlineExceeded).
+                    raise
+            if on_retry is not None:
+                on_retry(attempt, error)
+            sleep(pause)
+        else:
+            if ladder is not None:
+                ladder.record_success(effective)
+            return result

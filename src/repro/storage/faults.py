@@ -32,6 +32,7 @@ from .pager import DiskManager, FileDiskManager
 __all__ = [
     "InjectedIOError",
     "SimulatedCrash",
+    "SimulatedWorkerDeath",
     "FaultInjectingDiskManager",
     "CrashSimulator",
     "flip_bit",
@@ -40,6 +41,21 @@ __all__ = [
 
 class InjectedIOError(StorageError):
     """A transient or permanent I/O failure raised by fault injection."""
+
+
+class SimulatedWorkerDeath(StorageError):
+    """A parallel join worker killed by chaos injection.
+
+    Raised inside a shard when the chaos layer
+    (:class:`repro.service.chaos.ChaosInjector`) marks its spec with
+    ``chaos_kill`` but the shard runs in the parent process (serial or
+    thread backend), where a real ``os._exit`` would take the whole
+    service down.  In a forked/spawned worker process the kill is real —
+    the process hard-exits and the parent sees a broken pool — so both
+    paths converge on a transient
+    :class:`~repro.errors.ParallelExecutionError` the retry layer can
+    handle.
+    """
 
 
 class SimulatedCrash(StorageError):

@@ -193,3 +193,83 @@ class TestCalibrationResiduals:
         )
         (row,) = calibration_residuals(PAPER_TIME_MODEL, [sample])
         assert row["relative_error"] == pytest.approx(0.0)
+
+
+class TestRotateDriftJsonl:
+    """Startup rotation: size caps and environment fingerprinting."""
+
+    def write_history(self, path, n):
+        for __ in range(n):
+            append_drift_jsonl(make_record(), str(path))
+
+    def test_missing_file_writes_meta_sidecar_only(self, tmp_path):
+        from repro.obs.drift import rotate_drift_jsonl
+
+        path = tmp_path / "drift.jsonl"
+        out = rotate_drift_jsonl(str(path))
+        assert out == {"archived": False, "rotated": False,
+                       "kept": 0, "dropped": 0}
+        assert not path.exists()
+        meta = json.loads((tmp_path / "drift.jsonl.meta.json").read_text())
+        assert set(meta["fingerprint"]) == {
+            "platform", "machine", "python", "cpus"
+        }
+
+    def test_small_file_under_cap_untouched(self, tmp_path):
+        from repro.obs.drift import rotate_drift_jsonl
+
+        path = tmp_path / "drift.jsonl"
+        self.write_history(path, 5)
+        before = path.read_text()
+        out = rotate_drift_jsonl(str(path), max_bytes=1 << 20)
+        assert not out["rotated"]
+        assert path.read_text() == before
+
+    def test_oversize_file_compacts_to_newest_records(self, tmp_path):
+        from repro.obs.drift import rotate_drift_jsonl
+
+        path = tmp_path / "drift.jsonl"
+        self.write_history(path, 50)
+        out = rotate_drift_jsonl(str(path), max_bytes=100, keep=10)
+        assert out["rotated"]
+        assert out["kept"] == 10 and out["dropped"] == 40
+        assert len(read_drift_jsonl(str(path))) == 10
+
+    def test_compaction_sheds_malformed_lines(self, tmp_path):
+        from repro.obs.drift import rotate_drift_jsonl
+
+        path = tmp_path / "drift.jsonl"
+        self.write_history(path, 5)
+        with open(path, "a") as handle:
+            handle.write("{not json}\n")
+            handle.write('{"timestamp": 1}\n')  # missing required keys
+        rotate_drift_jsonl(str(path), max_bytes=10, keep=100)
+        assert len(read_drift_jsonl(str(path))) == 5  # all valid, no junk
+
+    def test_foreign_fingerprint_archives_the_history(self, tmp_path):
+        from repro.obs.drift import environment_fingerprint, rotate_drift_jsonl
+
+        path = tmp_path / "drift.jsonl"
+        self.write_history(path, 3)
+        # Stamp the sidecar as if written on another machine.
+        alien = dict(environment_fingerprint(), machine="vax780")
+        (tmp_path / "drift.jsonl.meta.json").write_text(
+            json.dumps({"fingerprint": alien})
+        )
+        out = rotate_drift_jsonl(str(path))
+        assert out["archived"]
+        assert not path.exists()  # moved aside, not silently reused
+        assert len(read_drift_jsonl(str(path) + ".stale")) == 3
+        # The sidecar now names the current environment.
+        meta = json.loads((tmp_path / "drift.jsonl.meta.json").read_text())
+        assert meta["fingerprint"] == environment_fingerprint()
+
+    def test_matching_fingerprint_keeps_the_history(self, tmp_path):
+        from repro.obs.drift import rotate_drift_jsonl
+
+        path = tmp_path / "drift.jsonl"
+        self.write_history(path, 3)
+        rotate_drift_jsonl(str(path))   # stamps the current fingerprint
+        out = rotate_drift_jsonl(str(path))  # second startup: same machine
+        assert not out["archived"]
+        assert len(read_drift_jsonl(str(path))) == 3

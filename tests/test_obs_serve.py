@@ -188,3 +188,39 @@ class TestBearerTokenAuth:
             assert status == 200
         finally:
             server.stop()
+
+
+class TestLifecycleRaces:
+    def test_concurrent_stops_do_not_race(self, registry):
+        import threading
+
+        server = MetricsServer(port=0, registry=registry).start()
+        errors = []
+
+        def stopper():
+            try:
+                server.stop()
+            except Exception as error:  # noqa: BLE001 — the race under test
+                errors.append(error)
+
+        threads = [threading.Thread(target=stopper) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert errors == []
+        assert not server.running
+
+    def test_fixed_port_rebinds_immediately_after_stop(self, registry):
+        # SO_REUSEADDR: the restarted server reclaims the same port even
+        # though the previous socket may linger in TIME_WAIT.
+        first = MetricsServer(port=0, registry=registry).start()
+        port = first.port
+        first.stop()
+        second = MetricsServer(port=port, registry=registry).start()
+        try:
+            status, __, __ = fetch(second.url + "/healthz")
+            assert status == 200
+            assert second.port == port
+        finally:
+            second.stop()

@@ -248,3 +248,110 @@ class TestEmptyInputs:
         )
         assert pairs == set()
         assert metrics.signature_comparisons == 0
+
+
+class TestTimeoutCancellation:
+    """Batch-deadline semantics: queued futures cancelled, runners
+    abandoned, and the error says which is which (satellite fix for the
+    thread backend leaving its pool fully un-cancelled)."""
+
+    def test_error_carries_timeout_kind_and_accounting(self, monkeypatch,
+                                                       workload):
+        import time as time_module
+
+        import repro.parallel.executor as executor_module
+
+        def stalling_shard(spec):
+            time_module.sleep(5.0)
+
+        monkeypatch.setattr(executor_module, "run_shard", stalling_shard)
+        lhs, rhs = workload
+        with Testbed() as testbed:
+            testbed.load(lhs, rhs)
+            join = SetContainmentJoin(
+                testbed, PSJPartitioner(8, seed=1),
+                workers=2, parallel_backend="thread", shard_timeout=0.05,
+            )
+            with pytest.raises(ParallelExecutionError) as excinfo:
+                join.run()
+        assert excinfo.value.kind == "timeout"
+        message = str(excinfo.value)
+        assert "cancelled" in message and "abandoned" in message
+
+    def test_queued_futures_are_cancelled_not_abandoned(self):
+        import threading
+
+        from repro.parallel.executor import ThreadBackend
+
+        release = threading.Event()
+        started = []
+
+        def slow(spec):
+            started.append(spec)
+            release.wait(5.0)
+            return spec
+
+        backend = ThreadBackend(1)  # one worker: later shards stay queued
+        import repro.parallel.executor as executor_module
+
+        original = executor_module.run_shard
+        executor_module.run_shard = slow
+        try:
+            with pytest.raises(ParallelExecutionError) as excinfo:
+                backend.run(list(range(4)), timeout=0.05)
+        finally:
+            executor_module.run_shard = original
+            release.set()
+        # One shard was running (abandoned); the three queued behind the
+        # single worker were cancelled before ever starting.
+        assert excinfo.value.kind == "timeout"
+        assert "3 queued shard(s) cancelled" in str(excinfo.value)
+        assert "1 running shard(s) abandoned" in str(excinfo.value)
+        assert len(started) == 1
+
+    def test_timeout_is_a_batch_deadline_not_per_shard(self):
+        import time as time_module
+
+        from repro.parallel.executor import ThreadBackend
+
+        def takes_a_while(spec):
+            time_module.sleep(0.08)
+            return spec
+
+        backend = ThreadBackend(1)
+        import repro.parallel.executor as executor_module
+
+        original = executor_module.run_shard
+        executor_module.run_shard = takes_a_while
+        try:
+            # Three sequential 0.08s shards fit a 2s batch budget but
+            # would each individually violate a 0.1s per-shard wait if
+            # the deadline (wrongly) restarted per future.
+            results = backend.run(list(range(3)), timeout=2.0)
+            assert results == [0, 1, 2]
+            with pytest.raises(ParallelExecutionError) as excinfo:
+                backend.run(list(range(3)), timeout=0.1)
+        finally:
+            executor_module.run_shard = original
+        assert excinfo.value.kind == "timeout"
+
+    def test_worker_death_kind_on_broken_pool(self, monkeypatch):
+        from repro.parallel.executor import ProcessBackend
+
+        if not ProcessBackend(2).available():
+            pytest.skip("process backend unavailable in this sandbox")
+        import repro.parallel.executor as executor_module
+
+        # Must be a module-level function: the pool pickles it by
+        # reference when shipping work to the child.
+        monkeypatch.setattr(executor_module, "run_shard", _exit_in_worker)
+        backend = ProcessBackend(2)
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            backend.run(list(range(2)), timeout=30.0)
+        assert excinfo.value.kind == "worker_death"
+
+
+def _exit_in_worker(spec):
+    import os as os_module
+
+    os_module._exit(86)  # noqa: SLF001 — simulates an OOM-killed worker

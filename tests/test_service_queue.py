@@ -1,0 +1,123 @@
+"""Admission queue + ticket semantics (repro.service.queue)."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError, DeadlineExceeded, ServiceError
+from repro.obs.registry import MetricsRegistry
+from repro.service.queue import AdmissionQueue, Query, QueryTicket
+
+
+def make_ticket(kind="probe", **params):
+    return QueryTicket(Query(kind=kind, params=params))
+
+
+class TestAdmissionQueue:
+    def test_fifo_order(self):
+        queue = AdmissionQueue(4, registry=MetricsRegistry())
+        tickets = [make_ticket() for _ in range(3)]
+        for ticket in tickets:
+            assert queue.offer(ticket)
+        taken = [queue.take(timeout=0.1) for _ in range(3)]
+        assert [t.query_id for t in taken] == [t.query_id for t in tickets]
+
+    def test_full_queue_sheds_and_counts(self):
+        registry = MetricsRegistry()
+        queue = AdmissionQueue(2, registry=registry)
+        assert queue.offer(make_ticket())
+        assert queue.offer(make_ticket())
+        assert not queue.offer(make_ticket())  # shed, not blocked
+        assert not queue.offer(make_ticket())
+        snapshot = registry.snapshot()
+        assert snapshot["setjoin_service_shed_total"]["value"] == 2
+        assert snapshot["setjoin_service_admitted_total"]["value"] == 2
+        assert snapshot["setjoin_service_queue_depth"]["value"] == 2
+
+    def test_depth_gauge_tracks_take(self):
+        registry = MetricsRegistry()
+        queue = AdmissionQueue(4, registry=registry)
+        queue.offer(make_ticket())
+        queue.offer(make_ticket())
+        queue.take(timeout=0.1)
+        assert registry.snapshot()["setjoin_service_queue_depth"]["value"] == 1
+
+    def test_take_times_out_empty(self):
+        queue = AdmissionQueue(2, registry=MetricsRegistry())
+        assert queue.take(timeout=0.01) is None
+
+    def test_closed_queue_rejects_offers_but_drains(self):
+        queue = AdmissionQueue(4, registry=MetricsRegistry())
+        admitted = make_ticket()
+        queue.offer(admitted)
+        queue.close()
+        assert queue.closed
+        assert not queue.offer(make_ticket())
+        # Already-admitted work stays takeable — that's the drain.
+        assert queue.take(timeout=0.1) is admitted
+        assert queue.take(timeout=0.1) is None
+
+    def test_close_does_not_count_as_shed(self):
+        registry = MetricsRegistry()
+        queue = AdmissionQueue(4, registry=registry)
+        queue.close()
+        queue.offer(make_ticket())
+        assert registry.snapshot()["setjoin_service_shed_total"]["value"] == 0
+
+    def test_drain_now_returns_abandoned_tickets(self):
+        queue = AdmissionQueue(4, registry=MetricsRegistry())
+        tickets = [make_ticket() for _ in range(3)]
+        for ticket in tickets:
+            queue.offer(ticket)
+        abandoned = queue.drain_now()
+        assert abandoned == tickets
+        assert len(queue) == 0
+        assert queue.closed
+
+    def test_close_wakes_blocked_taker(self):
+        queue = AdmissionQueue(2, registry=MetricsRegistry())
+        results = []
+
+        def taker():
+            results.append(queue.take(timeout=5.0))
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        queue.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert results == [None]
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="depth"):
+            AdmissionQueue(0, registry=MetricsRegistry())
+
+
+class TestQueryTicket:
+    def test_resolve_delivers_result(self):
+        ticket = make_ticket()
+        assert not ticket.done()
+        ticket.resolve([1, 2, 3])
+        assert ticket.done()
+        assert ticket.result(timeout=0.1) == [1, 2, 3]
+
+    def test_reject_reraises_typed_error(self):
+        ticket = make_ticket()
+        ticket.reject(DeadlineExceeded("too slow"))
+        assert ticket.error is not None
+        with pytest.raises(DeadlineExceeded, match="too slow"):
+            ticket.result(timeout=0.1)
+
+    def test_result_wait_timeout_is_typed(self):
+        ticket = make_ticket()
+        with pytest.raises(ServiceError, match="still pending"):
+            ticket.result(timeout=0.01)
+
+    def test_result_blocks_until_resolution(self):
+        ticket = make_ticket()
+        threading.Timer(0.05, ticket.resolve, args=("done",)).start()
+        assert ticket.result(timeout=5.0) == "done"
+
+    def test_query_ids_are_unique_and_increasing(self):
+        first, second = make_ticket(), make_ticket()
+        assert second.query_id > first.query_id
