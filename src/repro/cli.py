@@ -77,6 +77,14 @@ def _cmd_join(arguments) -> int:
         if arguments.drift and os.path.exists(arguments.drift) else None
     )
 
+    if arguments.shards > 1:
+        if arguments.analyze or arguments.drift:
+            print("error: --analyze/--drift are not supported with "
+                  "--shards yet; use the single-database path",
+                  file=sys.stderr)
+            return 2
+        return _run_sharded_join(arguments, lhs, rhs, algorithm, model)
+
     if arguments.explain:
         from .obs.explain import explain_join
 
@@ -195,6 +203,43 @@ def _cmd_join(arguments) -> int:
     return 0
 
 
+def _run_sharded_join(arguments, lhs, rhs, algorithm, model) -> int:
+    """``setjoins join --shards N``: distribute the two relations over N
+    in-memory shards and join through the dist coordinator."""
+    from .dist import ShardedDatabase
+
+    with ShardedDatabase.open(
+        None, shards=arguments.shards, fanout=arguments.shard_fanout,
+        prune=arguments.prune, model=model,
+    ) as db:
+        db.create_relation("R", lhs)
+        db.create_relation("S", rhs)
+        if arguments.explain:
+            print(db.explain("R", "S"))
+            return 0
+        result, metrics = db.join(
+            "R", "S",
+            algorithm=algorithm,
+            num_partitions=arguments.partitions,
+            signature_bits=arguments.signature_bits,
+            engine=arguments.engine,
+            workers=arguments.workers,
+            backend=arguments.parallel_backend,
+        )
+        for r_tid, s_tid in sorted(result):
+            print(f"{r_tid}\t{s_tid}")
+        report = db.last_placement
+        print(
+            f"# {len(result)} pairs; {metrics.signature_comparisons} "
+            f"signature comparisons, {metrics.replicated_signatures} "
+            f"replicated signatures, {metrics.total_seconds:.3f}s "
+            f"({arguments.shards} shards, {arguments.shard_fanout} fan-out, "
+            f"R replication factor {report.replication_factor:.3f})",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_plan(arguments) -> int:
     lhs = load_relation_file(arguments.r_file, "R")
     rhs = load_relation_file(arguments.s_file, "S")
@@ -214,7 +259,7 @@ def _cmd_experiment(arguments) -> int:
 
     kwargs = {}
     if arguments.scale is not None and arguments.id in (
-            "fig8", "fig9", "parallel"):
+            "fig8", "fig9", "parallel", "dist"):
         kwargs["scale"] = arguments.scale
     tracer = None
     scope = nullcontext()
@@ -300,6 +345,8 @@ def _cmd_serve_service(arguments) -> int:
         arguments.service,
         workers=arguments.workers,
         backend=arguments.backend,
+        shards=arguments.shards,
+        plan_cache_size=arguments.plan_cache_size,
         queue_depth=arguments.queue_depth,
         default_deadline=arguments.deadline,
         drift_path=arguments.drift,
@@ -331,6 +378,8 @@ def _cmd_serve_service(arguments) -> int:
 
 
 def _cmd_db(arguments) -> int:
+    import os
+
     from .database import SetJoinDatabase
 
     server = None
@@ -340,8 +389,18 @@ def _cmd_db(arguments) -> int:
         server = MetricsServer(arguments.host, arguments.port,
                                token=arguments.token).start()
         print(f"# serving {server.url}/metrics", file=sys.stderr)
+    sharded = (
+        arguments.shards is not None
+        or os.path.exists(arguments.database + ".shards.json")
+    )
     try:
-        with SetJoinDatabase.open(arguments.database) as db:
+        opener = (
+            SetJoinDatabase.open_sharded(
+                arguments.database, shards=arguments.shards
+            )
+            if sharded else SetJoinDatabase.open(arguments.database)
+        )
+        with opener as db:
             status = _run_db_action(db, arguments)
         if server is not None and status == 0:
             print("# action done; still serving metrics (Ctrl-C to stop)",
@@ -380,8 +439,22 @@ def _run_db_action(db, arguments) -> int:
             print("usage: setjoins db FILE explain R S", file=sys.stderr)
             return 2
         print(db.explain(*arguments.args))
-        print()
-        print(db.explain_plan(*arguments.args).render())
+        if hasattr(db, "explain_plan"):
+            print()
+            print(db.explain_plan(*arguments.args).render())
+        return 0
+    if arguments.action == "reshard":
+        if len(arguments.args) != 1 or not arguments.args[0].isdigit():
+            print("usage: setjoins db FILE reshard N", file=sys.stderr)
+            return 2
+        if not hasattr(db, "reshard"):
+            print("error: reshard requires a sharded database "
+                  "(open with --shards)", file=sys.stderr)
+            return 2
+        report = db.reshard(int(arguments.args[0]))
+        print(f"resharded {report.old_shard_ids} → {report.new_shard_ids}: "
+              f"{report.moved_rows}/{report.total_rows} rows moved "
+              f"({report.moved_fraction:.1%})")
         return 0
     if arguments.action == "join":
         if len(arguments.args) != 2:
@@ -484,6 +557,23 @@ def build_parser() -> argparse.ArgumentParser:
         "falls back to serial where unavailable)",
     )
     join.add_argument(
+        "--shards", type=int, default=1,
+        help="distribute the relations over N in-memory database shards "
+        "behind the dist coordinator (default 1 = single database); "
+        "results and x/y accounting stay bit-identical",
+    )
+    join.add_argument(
+        "--shard-fanout", default="thread", choices=["serial", "thread"],
+        help="coordinator-level shard dispatch with --shards (default "
+        "thread)",
+    )
+    join.add_argument(
+        "--prune", default="partitions", choices=["partitions", "signature"],
+        help="R-replication pruning with --shards: 'partitions' keeps "
+        "x/y bit-identical; 'signature' also skips shards by signature-"
+        "prefix digest (fewer shipped rows, x may shrink)",
+    )
+    join.add_argument(
         "--explain", action="store_true",
         help="print the predicted plan tree (analytical x/y/page/time "
         "annotations; for DCJ the α/β operator tree) without executing",
@@ -578,9 +668,16 @@ def build_parser() -> argparse.ArgumentParser:
     database.add_argument("database", help="database file path")
     database.add_argument(
         "action",
-        choices=["list", "load", "drop", "explain", "join", "verify", "stats"],
+        choices=["list", "load", "drop", "explain", "join", "verify",
+                 "stats", "reshard"],
     )
     database.add_argument("args", nargs="*", help="action arguments")
+    database.add_argument(
+        "--shards", type=int, default=None,
+        help="open (or create) the database as N shards behind the dist "
+        "coordinator; an existing FILE.shards.json layout is detected "
+        "automatically, so --shards is only needed on first creation",
+    )
     database.add_argument(
         "--serve", action="store_true",
         help="expose /metrics and /healthz over HTTP while (and after) "
@@ -619,6 +716,13 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("serial", "thread", "process"),
                        help="preferred execution backend; the circuit "
                        "breaker degrades it when it keeps failing")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="with --service: open the database as N "
+                       "shards behind the dist coordinator")
+    serve.add_argument("--plan-cache-size", type=int, default=0,
+                       help="cache up to N optimizer plans keyed on "
+                       "relation-statistics fingerprints (default 0 = "
+                       "replan every join)")
     serve.add_argument("--queue-depth", type=int, default=64,
                        help="admission queue depth; beyond this, queries "
                        "are shed with HTTP 429 (default 64)")

@@ -832,14 +832,36 @@ def run_disk_join(
     backend: str = "serial",
     shard_timeout: float | None = None,
     tracer=None,
+    shards: int = 1,
+    shard_fanout: str = "thread",
 ) -> tuple[set[tuple[int, int]], JoinMetrics]:
     """Convenience wrapper: build a testbed, load, join, tear down.
 
     ``workers``/``backend`` run the joining phase on the
     partition-parallel engine (see :mod:`repro.parallel`); the result
     set and the paper's x/y counts are identical for any worker count.
+    ``shards > 1`` distributes the relations across that many
+    independent in-memory databases behind the dist coordinator
+    (:mod:`repro.dist`) instead, with ``shard_fanout`` selecting the
+    coordinator-level dispatch; results and x/y stay bit-identical.
     ``tracer`` enables span tracing of the run (see :mod:`repro.obs`).
     """
+    if shards > 1:
+        from ..dist.coordinator import ShardedDatabase
+
+        with ShardedDatabase.open(
+            None, shards=shards, fanout=shard_fanout,
+            buffer_pages=buffer_pages, buffer_policy=buffer_policy,
+        ) as db:
+            db.create_relation(lhs.name or "R", lhs)
+            db.create_relation(rhs.name or "S", rhs)
+            return db.join(
+                lhs.name or "R", rhs.name or "S",
+                signature_bits=signature_bits, engine=engine,
+                workers=workers, backend=backend,
+                shard_timeout=shard_timeout, tracer=tracer,
+                partitioner=partitioner,
+            )
     with Testbed(path=path, buffer_pages=buffer_pages,
                  buffer_policy=buffer_policy) as testbed:
         testbed.load(lhs, rhs, payload_size=payload_size)

@@ -107,6 +107,21 @@ class SetJoinDatabase:
         interrupted transaction from its write-ahead log."""
         return cls(path, **kwargs)
 
+    @classmethod
+    def open_sharded(cls, path: str | None = None,
+                     shards: int | None = None, **kwargs):
+        """Open a :class:`~repro.dist.ShardedDatabase`: ``shards``
+        independent databases (``<path>.shard<i>`` each with its own
+        WAL and buffer pool) behind a coordinator with the same
+        create/drop/join/probe/explain surface as a single database.
+
+        An existing sharded layout (``<path>.shards.json`` manifest)
+        reopens with ``shards`` omitted; see :mod:`repro.dist`.
+        """
+        from .dist.coordinator import ShardedDatabase
+
+        return ShardedDatabase.open(path, shards=shards, **kwargs)
+
     # ------------------------------------------------------------------
     # Transactions
     # ------------------------------------------------------------------

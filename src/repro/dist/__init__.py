@@ -1,0 +1,54 @@
+"""Sharded multi-database execution.
+
+``repro.dist`` distributes whole relations across N independent
+:class:`~repro.database.SetJoinDatabase` shards (each with its own WAL,
+buffer pool and catalog) and coordinates containment joins across them:
+S rows are rendezvous-hashed to a single home shard, R rows are
+replicated only to the shards whose partition occupancy (optionally
+signature digest) says superset candidates may live there, and the
+per-shard answers — provably disjoint — merge into a result that is
+bit-identical to single-shard execution, x/y accounting included.
+
+Entry points: :meth:`SetJoinDatabase.open_sharded`,
+``run_disk_join(shards=N)``, ``setjoin join --shards`` /
+``db --shards``, and the query service's ``--shards`` flag.  See
+``docs/sharding.md`` for the placement math and the invariance
+argument.
+"""
+
+from .coordinator import FANOUTS, ShardedDatabase
+from .placement import (
+    DEFAULT_PREFIX_BITS,
+    PRUNE_MODES,
+    PlacementReport,
+    ReplicationPlanner,
+    ShardSummary,
+    assign_shard,
+    deterministic_choice,
+    deterministic_partitioner,
+    publish_placement,
+    summarize_rows,
+)
+from .rebalance import RebalanceReport, rebalance, reshard
+from .shard import Shard, ShardJoinRequest, ShardJoinResponse
+
+__all__ = [
+    "ShardedDatabase",
+    "FANOUTS",
+    "Shard",
+    "ShardJoinRequest",
+    "ShardJoinResponse",
+    "PRUNE_MODES",
+    "DEFAULT_PREFIX_BITS",
+    "PlacementReport",
+    "ReplicationPlanner",
+    "ShardSummary",
+    "assign_shard",
+    "deterministic_choice",
+    "deterministic_partitioner",
+    "publish_placement",
+    "summarize_rows",
+    "RebalanceReport",
+    "rebalance",
+    "reshard",
+]

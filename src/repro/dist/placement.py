@@ -1,0 +1,344 @@
+"""Containment-aware placement: which shard holds (or receives) which set.
+
+A set containment join cannot be naively hash-partitioned on set
+identity: an R-set's supersets can live on any shard, so the *S* side is
+hash-placed (each S row lives on exactly one shard, its **home**) and
+the *R* side is **replicated** to every shard that may hold superset
+candidates — the HyperCube-style distribution specialized to the ⊆
+predicate.  This module owns the three placement decisions:
+
+* **Row → home shard** (:func:`assign_shard`): rendezvous (highest-
+  random-weight) hashing of the tuple id over the shard-id set, so
+  adding a shard moves only the rows the new shard wins and removing
+  one moves only that shard's rows (:mod:`repro.dist.rebalance` relies
+  on this).
+* **R row → target shards** (:class:`ReplicationPlanner`): which shards
+  an R row must be shipped to.  Two pruning modes:
+
+  - ``"partitions"`` (default) prunes at *partition-occupancy*
+    granularity: ship r to shard j iff ``partitions(r) ∩ occupied(j)``
+    is non-empty, where ``occupied(j)`` is the set of partitions with at
+    least one local S entry.  This is exact for the paper's accounting:
+    for every partition p with S entries on shard j the *entire* global
+    R_p is present there, so the per-shard block-nested-loop comparison
+    counts sum to exactly the single-shard x, and skipped shards would
+    have contributed zero comparisons anyway.
+  - ``"signature"`` additionally prunes with a per-shard signature
+    digest: r is shipped only if ``prefix(sig(r)) ⊆ᵇ`` the OR of the
+    shard's S-signature prefixes and ``|r| ≤`` the shard's maximum S
+    cardinality.  Both tests are sound (``sig(r) ⊆ᵇ sig(s)`` implies
+    prefix inclusion in the OR, and ``r ⊆ s`` implies ``|r| ≤ |s|``),
+    so the *pairs* stay bit-identical — but comparisons that a
+    single-shard run would have performed (and counted in x) are
+    skipped, so x may shrink.  It is a performance mode, not the
+    invariance default.
+
+* **Deterministic partition assignment**
+  (:func:`deterministic_choice`): PSJ's R-side routing draws from a
+  per-call RNG, which would make the coordinator's occupancy
+  computation disagree with the shards' local partitioning.  The dist
+  layer pins PSJ's element choice to a pure function of the set
+  (minimum under a 64-bit mix), making every assignment content-
+  deterministic; DCJ/LSJ already are.
+
+Replication accounting is exact and separated into *logical* entries
+(the paper's y: Σ|partitions(row)|, identical at every shard count) and
+*physical* placements (rows/entries actually shipped), exposed through
+EXPLAIN and the ``setjoin_dist_*`` metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.psj import PSJPartitioner, _mix
+from ..core.signatures import DEFAULT_SIGNATURE_BITS, signature_of
+from ..errors import ConfigurationError
+
+__all__ = [
+    "PRUNE_MODES",
+    "assign_shard",
+    "deterministic_choice",
+    "deterministic_partitioner",
+    "ShardSummary",
+    "summarize_rows",
+    "ReplicationPlanner",
+    "PlacementReport",
+    "publish_placement",
+]
+
+#: Supported R-replication pruning modes (see the module docstring).
+PRUNE_MODES = ("partitions", "signature")
+
+#: Width of the per-shard S-signature prefix digest (``"signature"``
+#: mode).  64 bits keeps the digest a machine word while catching sets
+#: whose low signature bits miss the shard entirely.
+DEFAULT_PREFIX_BITS = 64
+
+_SHARD_SALT = 0x9E3779B97F4A7C15
+
+
+def _shard_weight(tid: int, shard_id: int) -> int:
+    """Rendezvous weight of (row, shard): a 64-bit mixed hash."""
+    return _mix(_mix(tid) ^ _mix(shard_id ^ _SHARD_SALT))
+
+
+def assign_shard(tid: int, shard_ids: Sequence[int]) -> int:
+    """Home shard of a row: the highest-random-weight (rendezvous) winner.
+
+    Deterministic in ``(tid, set of shard ids)`` — the order of
+    ``shard_ids`` does not matter.  Rendezvous hashing gives the
+    rebalance guarantee: growing the id set only moves rows *to* the new
+    shard, shrinking it only moves the removed shard's rows.
+    """
+    if not shard_ids:
+        raise ConfigurationError("cannot place a row over zero shards")
+    return max(shard_ids, key=lambda sid: (_shard_weight(tid, sid), sid))
+
+
+def deterministic_choice(elements: "frozenset[int]") -> int:
+    """Content-deterministic PSJ element choice: min under a 64-bit mix.
+
+    ``_mix`` is a bijection on 64-bit integers, so distinct elements
+    never tie; the choice is a pure function of the set, independent of
+    scan order and of how many times the set is assigned.
+    """
+    return min(elements, key=_mix)
+
+
+def deterministic_partitioner(partitioner):
+    """Make a partitioner safe for distributed planning.
+
+    DCJ/LSJ assignments are already pure functions of the set.  A PSJ
+    partitioner routing R rows via its per-call RNG is rebuilt with
+    :func:`deterministic_choice`, so the coordinator's placement scan
+    and every shard's local partition phase agree on each row's
+    partitions.  Partitioners are returned unchanged otherwise.
+    """
+    if isinstance(partitioner, PSJPartitioner) \
+            and partitioner._choose_element is None:
+        return PSJPartitioner(
+            partitioner.num_partitions,
+            hash_elements=partitioner.hash_elements,
+            choose_element=deterministic_choice,
+        )
+    return partitioner
+
+
+@dataclass(frozen=True)
+class ShardSummary:
+    """A shard's S-slice digest, as seen by the coordinator.
+
+    Everything the replication planner needs to decide which R rows the
+    shard must receive, plus the shard's exact share of the logical y
+    accounting (``entries`` = Σ|partitions(s)| over local S rows).
+    """
+
+    shard_id: int
+    rows: int
+    entries: int
+    occupied: "frozenset[int]"
+    signature_prefix: int
+    max_cardinality: int
+
+
+def summarize_rows(
+    shard_id: int,
+    rows: "Iterable[tuple[int, frozenset[int]]]",
+    partitioner,
+    signature_bits: int = DEFAULT_SIGNATURE_BITS,
+    prefix_bits: int = DEFAULT_PREFIX_BITS,
+) -> ShardSummary:
+    """Digest one shard's S rows (``(tid, elements)`` pairs)."""
+    prefix_mask = (1 << prefix_bits) - 1
+    count = 0
+    entries = 0
+    occupied: set[int] = set()
+    prefix_or = 0
+    max_cardinality = 0
+    for __, elements in rows:
+        count += 1
+        partitions = partitioner.assign_s(elements)
+        entries += len(partitions)
+        occupied.update(partitions)
+        prefix_or |= signature_of(elements, signature_bits) & prefix_mask
+        if len(elements) > max_cardinality:
+            max_cardinality = len(elements)
+    return ShardSummary(
+        shard_id=shard_id,
+        rows=count,
+        entries=entries,
+        occupied=frozenset(occupied),
+        signature_prefix=prefix_or,
+        max_cardinality=max_cardinality,
+    )
+
+
+class ReplicationPlanner:
+    """Decides, R row by R row, which shards must receive a copy.
+
+    Stateful: every :meth:`targets` call updates the exact replication
+    accounting, and :meth:`report` packages it once the R scan is done.
+    """
+
+    def __init__(
+        self,
+        summaries: "Sequence[ShardSummary]",
+        mode: str = "partitions",
+        signature_bits: int = DEFAULT_SIGNATURE_BITS,
+        prefix_bits: int = DEFAULT_PREFIX_BITS,
+    ):
+        if mode not in PRUNE_MODES:
+            raise ConfigurationError(
+                f"prune mode must be one of {PRUNE_MODES}, got {mode!r}"
+            )
+        self.mode = mode
+        self.signature_bits = signature_bits
+        self.prefix_mask = (1 << prefix_bits) - 1
+        self.summaries = sorted(summaries, key=lambda s: s.shard_id)
+        self.rows = 0
+        self.logical_entries = 0
+        self.physical_rows = 0
+        self.physical_entries = 0
+        self.pruned_occupancy = 0
+        self.pruned_signature = 0
+
+    def targets(
+        self, elements: "frozenset[int]", partitions: "Sequence[int]"
+    ) -> "list[int]":
+        """Shard ids that must receive this R row (sorted)."""
+        self.rows += 1
+        self.logical_entries += len(partitions)
+        parts = set(partitions)
+        prefix = None
+        out: list[int] = []
+        for summary in self.summaries:
+            if not summary.rows or parts.isdisjoint(summary.occupied):
+                self.pruned_occupancy += 1
+                continue
+            if self.mode == "signature":
+                if len(elements) > summary.max_cardinality:
+                    self.pruned_signature += 1
+                    continue
+                if prefix is None:
+                    prefix = signature_of(
+                        elements, self.signature_bits
+                    ) & self.prefix_mask
+                if prefix & ~summary.signature_prefix:
+                    self.pruned_signature += 1
+                    continue
+            out.append(summary.shard_id)
+        self.physical_rows += len(out)
+        self.physical_entries += len(out) * len(partitions)
+        return out
+
+    def report(self) -> "PlacementReport":
+        return PlacementReport(
+            shards=len(self.summaries),
+            mode=self.mode,
+            r_rows=self.rows,
+            s_rows=sum(s.rows for s in self.summaries),
+            logical_r_entries=self.logical_entries,
+            logical_s_entries=sum(s.entries for s in self.summaries),
+            physical_r_rows=self.physical_rows,
+            physical_r_entries=self.physical_entries,
+            pruned_occupancy=self.pruned_occupancy,
+            pruned_signature=self.pruned_signature,
+        )
+
+
+@dataclass(frozen=True)
+class PlacementReport:
+    """Exact replication accounting of one distributed join's placement."""
+
+    shards: int
+    mode: str
+    r_rows: int
+    s_rows: int
+    #: the paper's y, split by side — identical at every shard count.
+    logical_r_entries: int
+    logical_s_entries: int
+    #: what was actually shipped: R row copies and their partition entries.
+    physical_r_rows: int
+    physical_r_entries: int
+    pruned_occupancy: int
+    pruned_signature: int
+
+    @property
+    def logical_entries(self) -> int:
+        """The paper's y = Σ|partitions(row)| over both relations."""
+        return self.logical_r_entries + self.logical_s_entries
+
+    @property
+    def replication_factor(self) -> float:
+        """Average shard copies per R row (1.0 = no replication,
+        ``shards`` = full broadcast)."""
+        return self.physical_r_rows / self.r_rows if self.r_rows else 0.0
+
+    @property
+    def pruned_shard_visits(self) -> int:
+        return self.pruned_occupancy + self.pruned_signature
+
+    def as_dict(self) -> dict:
+        return {
+            "shards": self.shards,
+            "mode": self.mode,
+            "r_rows": self.r_rows,
+            "s_rows": self.s_rows,
+            "logical_r_entries": self.logical_r_entries,
+            "logical_s_entries": self.logical_s_entries,
+            "physical_r_rows": self.physical_r_rows,
+            "physical_r_entries": self.physical_r_entries,
+            "replication_factor": round(self.replication_factor, 6),
+            "pruned_occupancy": self.pruned_occupancy,
+            "pruned_signature": self.pruned_signature,
+        }
+
+    def explain_lines(self) -> "list[str]":
+        """The EXPLAIN section describing this placement."""
+        return [
+            f"distribution: {self.shards} shards (prune={self.mode})",
+            f"  R replication: {self.physical_r_rows} placements for "
+            f"{self.r_rows} rows → factor "
+            f"{self.replication_factor:.3f} (bounds: 1.0 ≤ factor ≤ "
+            f"{float(self.shards):.1f})",
+            f"  logical y (paper accounting): {self.logical_entries} "
+            f"= {self.logical_r_entries} R + "
+            f"{self.logical_s_entries} S entries",
+            f"  physical partition entries shipped: "
+            f"{self.physical_r_entries} R + "
+            f"{self.logical_s_entries} S",
+            f"  pruned shard visits: {self.pruned_occupancy} by "
+            f"partition occupancy, {self.pruned_signature} by "
+            f"signature prefix / cardinality",
+        ]
+
+
+def publish_placement(report: PlacementReport, registry=None) -> None:
+    """Publish one placement's accounting as ``setjoin_dist_*`` metrics."""
+    from ..obs.registry import get_registry
+
+    reg = registry if registry is not None else get_registry()
+    reg.gauge(
+        "setjoin_dist_shards", "Shard count of the last distributed join"
+    ).set(report.shards)
+    reg.counter(
+        "setjoin_dist_joins_total", "Distributed joins coordinated"
+    ).inc()
+    reg.counter(
+        "setjoin_dist_replicated_rows_total",
+        "R-row shard placements shipped by the coordinator",
+    ).inc(report.physical_r_rows)
+    reg.counter(
+        "setjoin_dist_replicated_entries_total",
+        "Physical R partition entries shipped to shards",
+    ).inc(report.physical_r_entries)
+    reg.counter(
+        "setjoin_dist_pruned_shard_visits_total",
+        "R-row shard placements skipped by occupancy/signature pruning",
+    ).inc(report.pruned_shard_visits)
+    reg.gauge(
+        "setjoin_dist_replication_factor",
+        "Average shard copies per R row in the last distributed join",
+    ).set(report.replication_factor)

@@ -14,6 +14,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     baselines,
     calibration,
     case_study,
+    dist_scaling,
     fig04,
     fig05,
     fig06,

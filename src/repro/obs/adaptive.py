@@ -53,6 +53,7 @@ __all__ = [
     "ModelVersion",
     "ModelStore",
     "RefitOutcome",
+    "RollbackOutcome",
     "Recalibrator",
     "samples_from_history",
     "drift_corrections",
@@ -70,6 +71,11 @@ DEFAULT_WINDOW = 200
 
 #: Default minimum history size before the recalibrator acts at all.
 DEFAULT_MIN_RECORDS = 20
+
+#: Minimum drift records observed *under* a refitted model before the
+#: rollback check will judge it — a refit must not be reverted on a
+#: couple of noisy joins.
+DEFAULT_MIN_ROLLBACK_RECORDS = 20
 
 #: Shrinkage prior strength for per-algorithm corrections: a history of
 #: n records pulls the factor n/(n+PRIOR) of the way from 1.0 toward
@@ -256,6 +262,21 @@ class ModelStore:
         self.save()
         return version
 
+    def rollback(self) -> ModelVersion:
+        """Discard (and unpersist) the active version; return it.
+
+        The previous version — or the base model when none remain —
+        becomes active.  Rolling back an unrefitted store is a
+        :class:`~repro.errors.ConfigurationError`.
+        """
+        if not self.versions:
+            raise ConfigurationError(
+                "cannot roll back: no refitted model is active"
+            )
+        removed = self.versions.pop()
+        self.save()
+        return removed
+
 
 def publish_model(
     model: TimeModel, version: int, registry=None
@@ -298,6 +319,19 @@ class RefitOutcome:
         return self.version.model if self.version is not None else None
 
 
+@dataclass
+class RollbackOutcome:
+    """What one rollback check decided, and why."""
+
+    reverted: bool
+    reason: str
+    #: mean |relative error| of the (pre-check) active model and of the
+    #: paper constants on the post-refit window, when both were computed.
+    active_error: "float | None" = None
+    base_error: "float | None" = None
+    removed: "ModelVersion | None" = None
+
+
 class Recalibrator:
     """Refit the time model when accumulated drift shows systematic bias.
 
@@ -317,6 +351,7 @@ class Recalibrator:
         bias_threshold: float = DEFAULT_BIAS_THRESHOLD,
         window: int = DEFAULT_WINDOW,
         min_records: int = DEFAULT_MIN_RECORDS,
+        min_rollback_records: int = DEFAULT_MIN_ROLLBACK_RECORDS,
         registry=None,
     ):
         if bias_threshold <= 0:
@@ -327,10 +362,16 @@ class Recalibrator:
             raise ConfigurationError(
                 f"window ({window}) must be >= min_records ({min_records})"
             )
+        if min_rollback_records < 1:
+            raise ConfigurationError(
+                "min_rollback_records must be >= 1, got "
+                f"{min_rollback_records}"
+            )
         self.store = store if store is not None else ModelStore()
         self.bias_threshold = bias_threshold
         self.window = window
         self.min_records = min_records
+        self.min_rollback_records = min_rollback_records
         self.registry = registry
         # The current state is observable even before any refit.
         publish_model(
@@ -426,6 +467,98 @@ class Recalibrator:
             f"cut mean |error| {error_before:.1%} → {error_after:.1%}",
             summary,
             version,
+        )
+
+    def maybe_rollback(
+        self, history: "str | Sequence[DriftRecord]", wall=None
+    ) -> RollbackOutcome:
+        """Revert the active refit if it performs worse than the paper
+        constants on the drift observed *since* it was fitted.
+
+        A refit is accepted on the window that triggered it — the past.
+        This is the forward check: once ``min_rollback_records`` drift
+        records have accumulated under the refitted model, compare its
+        mean |relative error| on them against the base (paper) model's;
+        if the refit regresses, pop it from the store, bump
+        ``setjoin_model_rollback_total`` and raise the
+        ``setjoin_model_rollback_alert`` gauge.  The alert clears (0)
+        whenever a check finds the active refit healthy.  ``wall`` is
+        accepted for symmetry with :meth:`maybe_recalibrate` and unused.
+        """
+        del wall
+        if not self.store.versions:
+            return RollbackOutcome(
+                False, "no refitted model active: nothing to roll back"
+            )
+        if isinstance(history, str):
+            records = read_drift_jsonl(history)
+        else:
+            records = list(history)
+        active = self.store.versions[-1]
+        since = [
+            record for record in records
+            if record.timestamp > active.fitted_at
+        ]
+        if len(since) < self.min_rollback_records:
+            return RollbackOutcome(
+                False,
+                f"only {len(since)} drift records since refit v"
+                f"{active.version} (need >= {self.min_rollback_records})",
+            )
+        samples = samples_from_history(since)
+        if len(samples) < 3:
+            return RollbackOutcome(
+                False,
+                f"only {len(samples)} usable samples since refit v"
+                f"{active.version} (need >= 3)",
+            )
+        active_error = active.model.mean_prediction_error(samples)
+        base_error = self.store.base_model.mean_prediction_error(samples)
+        if active_error <= base_error:
+            self._alert_gauge().set(0)
+            return RollbackOutcome(
+                False,
+                f"refit v{active.version} holding up: {active_error:.1%} "
+                f"<= paper constants' {base_error:.1%} over "
+                f"{len(samples)} post-refit samples",
+                active_error=active_error,
+                base_error=base_error,
+            )
+        removed = self.store.rollback()
+        self._publish_rollback(removed)
+        return RollbackOutcome(
+            True,
+            f"refit v{removed.version} regressed: {active_error:.1%} > "
+            f"paper constants' {base_error:.1%} over {len(samples)} "
+            "post-refit samples; reverted to "
+            f"v{self.store.active_version}",
+            active_error=active_error,
+            base_error=base_error,
+            removed=removed,
+        )
+
+    def _alert_gauge(self):
+        from .registry import get_registry
+
+        reg = self.registry if self.registry is not None else get_registry()
+        return reg.gauge(
+            "setjoin_model_rollback_alert",
+            "1 while the last rollback check reverted a refitted model",
+        )
+
+    def _publish_rollback(self, removed: ModelVersion) -> None:
+        from .registry import get_registry
+
+        reg = self.registry if self.registry is not None else get_registry()
+        reg.counter(
+            "setjoin_model_rollback_total",
+            "Refitted time models reverted for regressing vs the paper "
+            "constants",
+        ).inc()
+        self._alert_gauge().set(1)
+        publish_model(
+            self.store.active, self.store.active_version,
+            registry=self.registry,
         )
 
     def _publish_refit(self, version: ModelVersion) -> None:

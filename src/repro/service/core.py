@@ -53,7 +53,7 @@ from ..errors import (
 from .queue import AdmissionQueue, Query, QueryTicket
 from .retry import BackendLadder, RetryPolicy, run_with_retries
 
-__all__ = ["ServiceState", "QueryService"]
+__all__ = ["ServiceState", "PlanCache", "QueryService"]
 
 #: Latency buckets for the per-query histogram (seconds).
 _LATENCY_BUCKETS = (
@@ -68,6 +68,80 @@ class ServiceState:
     STOPPED = "stopped"
 
     _ORDER = {STARTING: 0, READY: 1, DRAINING: 2, STOPPED: 3}
+
+
+class PlanCache:
+    """LRU cache of optimizer plans keyed on a statistics fingerprint.
+
+    The key is ``(r, s, |R|, θ_R, |S|, θ_S, c1, c2, c3)`` — everything
+    the optimizer's decision depends on — so a cached plan is only ever
+    reused while it would be re-derived identically: relation churn
+    changes the statistics (and is invalidated eagerly by name anyway),
+    and a model refit/rollback changes the coefficients (the service
+    also clears the cache then).  Entries hold the full
+    :class:`~repro.core.optimizer.JoinPlan`, so EXPLAIN-grade detail
+    stays available for drift prediction without replanning.
+    """
+
+    def __init__(self, size: int, registry=None):
+        from collections import OrderedDict
+
+        from ..obs.registry import get_registry
+
+        if size < 1:
+            raise ConfigurationError(
+                f"plan cache size must be >= 1, got {size}"
+            )
+        self.size = size
+        self._entries: "OrderedDict[tuple, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        reg = registry if registry is not None else get_registry()
+        self.hits = reg.counter(
+            "setjoin_service_plan_cache_hits_total",
+            "Joins planned from the statistics-fingerprint plan cache",
+        )
+        self.misses = reg.counter(
+            "setjoin_service_plan_cache_misses_total",
+            "Joins that had to run the optimizer (cache miss)",
+        )
+
+    def lookup(self, key: tuple):
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is None:
+                self.misses.inc()
+                return None
+            self._entries.move_to_end(key)
+            self.hits.inc()
+            return plan
+
+    def store(self, key: tuple, plan) -> None:
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.size:
+                self._entries.popitem(last=False)
+
+    def invalidate(self, *names: str) -> int:
+        """Drop every cached plan involving any of ``names`` (churn)."""
+        targets = set(names)
+        with self._lock:
+            stale = [
+                key for key in self._entries
+                if key[0] in targets or key[1] in targets
+            ]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop everything (model refit/rollback: all plans are stale)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 class QueryService:
@@ -91,6 +165,8 @@ class QueryService:
         *,
         workers: int = 2,
         backend: str = "thread",
+        shards: int | None = None,
+        plan_cache_size: int = 0,
         queue_depth: int = 64,
         default_deadline: float | None = None,
         shard_timeout: float | None = None,
@@ -114,12 +190,27 @@ class QueryService:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         if default_deadline is not None and default_deadline <= 0:
             raise ConfigurationError("default_deadline must be positive")
-        if isinstance(database, SetJoinDatabase):
+        if database is None or isinstance(database, str):
+            if shards is not None:
+                self.db = SetJoinDatabase.open_sharded(
+                    database, shards=shards, model_store=model_store
+                )
+            else:
+                self.db = SetJoinDatabase.open(
+                    database, model_store=model_store
+                )
+            self._owns_db = True
+        else:
+            # An open SetJoinDatabase or ShardedDatabase is borrowed —
+            # the caller keeps ownership and its existing shard layout.
+            if shards is not None:
+                raise ConfigurationError(
+                    "shards= only applies when the service opens the "
+                    "database itself; the borrowed instance already has "
+                    "its layout"
+                )
             self.db = database
             self._owns_db = False
-        else:
-            self.db = SetJoinDatabase.open(database, model_store=model_store)
-            self._owns_db = True
         self.workers = workers
         self.backend = backend
         self.default_deadline = default_deadline
@@ -142,6 +233,10 @@ class QueryService:
         self._ladder = BackendLadder(
             backend, failure_threshold=breaker_threshold,
             cooldown=breaker_cooldown, clock=clock, registry=self._registry,
+        )
+        self._plan_cache = (
+            PlanCache(plan_cache_size, registry=self._registry)
+            if plan_cache_size else None
         )
         self._state = ServiceState.STARTING
         self._state_lock = threading.Lock()
@@ -339,6 +434,12 @@ class QueryService:
         ticket = self.submit("drop", name=name)
         return ticket.result(timeout)
 
+    def reshard(self, shards: int, timeout: float | None = None) -> int:
+        """Resize a sharded database through the lane; returns the new
+        shard count (requires a :class:`~repro.dist.ShardedDatabase`)."""
+        ticket = self.submit("reshard", shards=shards)
+        return ticket.result(timeout)
+
     # ------------------------------------------------------------------
     # The execution lane
     # ------------------------------------------------------------------
@@ -394,11 +495,25 @@ class QueryService:
                 query.params["name"], query.params["elements"]
             )
         if query.kind == "create":
-            return self.db.create_relation(
+            result = self.db.create_relation(
                 query.params["name"], query.params["rows"]
             )
+            if self._plan_cache is not None:
+                self._plan_cache.invalidate(query.params["name"])
+            return result
         if query.kind == "drop":
-            return self.db.drop_relation(query.params["name"])
+            result = self.db.drop_relation(query.params["name"])
+            if self._plan_cache is not None:
+                self._plan_cache.invalidate(query.params["name"])
+            return result
+        if query.kind == "reshard":
+            if not hasattr(self.db, "reshard"):
+                raise ConfigurationError(
+                    "reshard requires a sharded database (open the "
+                    "service with shards=N)"
+                )
+            self.db.reshard(query.params["shards"])
+            return len(self.db.shard_ids)
         raise ConfigurationError(f"unknown query kind {query.kind!r}")
 
     def _execute_join(self, ticket: QueryTicket):
@@ -408,12 +523,15 @@ class QueryService:
         algorithm = params.get("algorithm", "auto")
         num_partitions = params.get("num_partitions")
         prediction = None
-        if self.drift_path is not None and algorithm == "auto":
-            # Plan explicitly so the prediction that drove the choice is
-            # in hand for the drift record afterwards.
-            plan = self.db.plan(r_name, s_name,
-                                drift_history=self._drift_history())
-            prediction = plan.prediction(self.db.model)
+        if algorithm == "auto" and (
+            self.drift_path is not None or self._plan_cache is not None
+        ):
+            # Plan explicitly — through the cache when enabled — so the
+            # prediction that drove the choice is in hand for the drift
+            # record afterwards.
+            plan = self._plan_for(r_name, s_name)
+            if self.drift_path is not None:
+                prediction = plan.prediction(self.db.model)
             algorithm, num_partitions = plan.algorithm, plan.k
 
         tracer = None
@@ -456,6 +574,30 @@ class QueryService:
             self._append_trace(tracer)
         return pairs, metrics
 
+    def _plan_for(self, r_name: str, s_name: str):
+        """Plan a join, reusing a cached plan when its statistics
+        fingerprint matches the current relations and model."""
+        drift_history = self._drift_history()
+        if self._plan_cache is None:
+            return self.db.plan(r_name, s_name, drift_history=drift_history)
+        from ..core.optimizer import plan_from_statistics
+
+        model = self.db.refresh_model()
+        r_size, theta_r = self.db._statistics(r_name)
+        s_size, theta_s = self.db._statistics(s_name, seed=1)
+        key = (
+            r_name, s_name, r_size, round(theta_r, 9), s_size,
+            round(theta_s, 9), model.c1, model.c2, model.c3,
+        )
+        plan = self._plan_cache.lookup(key)
+        if plan is None:
+            plan = plan_from_statistics(
+                r_size, s_size, theta_r, theta_s, model,
+                drift_history=drift_history,
+            )
+            self._plan_cache.store(key, plan)
+        return plan
+
     # ------------------------------------------------------------------
     # The closed loop under traffic
     # ------------------------------------------------------------------
@@ -485,9 +627,22 @@ class QueryService:
         store = self.db.model_store
         if store is None:
             return
-        outcome = Recalibrator(store=store).maybe_recalibrate(self.drift_path)
+        recalibrator = Recalibrator(store=store, registry=self._registry)
+        # Judge the active refit on its *post-fit* drift first; a
+        # reverted model skips refitting this cycle, so one bad window
+        # cannot be reinstated in the same breath it was rolled back.
+        rollback = recalibrator.maybe_rollback(self.drift_path)
+        if rollback.reverted:
+            self._model_changed()
+            return
+        outcome = recalibrator.maybe_recalibrate(self.drift_path)
         if outcome.refit:
-            self.db.refresh_model()
+            self._model_changed()
+
+    def _model_changed(self) -> None:
+        self.db.refresh_model()
+        if self._plan_cache is not None:
+            self._plan_cache.clear()
 
     def _append_trace(self, tracer) -> None:
         import json
@@ -502,7 +657,7 @@ class QueryService:
 
     def stats(self) -> dict:
         """Service-level snapshot for ``/readyz`` and the CLI."""
-        return {
+        snapshot = {
             "state": self._state,
             "queue_depth": len(self._queue),
             "workers": self.workers,
@@ -513,3 +668,13 @@ class QueryService:
                 for name, breaker in self._ladder.breakers.items()
             },
         }
+        if hasattr(self.db, "shard_ids"):
+            snapshot["shards"] = len(self.db.shard_ids)
+        if self._plan_cache is not None:
+            snapshot["plan_cache"] = {
+                "entries": len(self._plan_cache),
+                "capacity": self._plan_cache.size,
+                "hits": self._plan_cache.hits.value,
+                "misses": self._plan_cache.misses.value,
+            }
+        return snapshot

@@ -44,25 +44,36 @@ __all__ = ["WorkloadMix", "LoadReport", "LoadGenerator"]
 
 @dataclass(frozen=True)
 class WorkloadMix:
-    """Relative weights of the three query classes."""
+    """Relative weights of the query classes.
+
+    ``reshard`` (default 0: off) only makes sense against a sharded
+    database — it grows/shrinks the shard layout under traffic, so the
+    chaos harness exercises rebalancing concurrently with joins.
+    """
 
     join: float = 0.2
     probe: float = 0.7
     churn: float = 0.1
+    reshard: float = 0.0
 
     def __post_init__(self):
-        if min(self.join, self.probe, self.churn) < 0:
+        if min(self.join, self.probe, self.churn, self.reshard) < 0:
             raise ConfigurationError("workload weights must be >= 0")
-        if self.join + self.probe + self.churn <= 0:
+        if self._total() <= 0:
             raise ConfigurationError("workload mix must have positive mass")
 
+    def _total(self) -> float:
+        return self.join + self.probe + self.churn + self.reshard
+
     def pick(self, rng: random.Random) -> str:
-        roll = rng.random() * (self.join + self.probe + self.churn)
+        roll = rng.random() * self._total()
         if roll < self.join:
             return "join"
         if roll < self.join + self.probe:
             return "probe"
-        return "churn"
+        if roll < self.join + self.probe + self.churn:
+            return "churn"
+        return "reshard"
 
 
 @dataclass
@@ -145,10 +156,19 @@ class LoadGenerator:
         self.mix = mix if mix is not None else WorkloadMix()
         self.probe_count = probe_count
         self.deadline = deadline
+        if self.mix.reshard > 0 and not hasattr(service.db, "reshard"):
+            raise ConfigurationError(
+                "a reshard workload weight requires a sharded database"
+            )
         self.rng = random.Random(seed)
         self._clock = clock
         self._sleep = sleep
         self._scratch = 0
+        self._base_shards = (
+            len(service.db.shard_ids)
+            if hasattr(service.db, "shard_ids") else 0
+        )
+        self._grow_next = True
         self.expected_pairs: "set[tuple[int, int]] | None" = None
         self.expected_probes: "list[tuple[list[int], list[int]]]" = []
 
@@ -215,6 +235,17 @@ class LoadGenerator:
                 name=self.s_name, elements=list(elements),
             )
             return ("probe", expected, ticket)
+        if kind == "reshard":
+            # Alternate base ↔ base+1 so every reshard moves real rows
+            # and the layout always ends within one shard of where it
+            # started; the lane serializes it against in-flight joins.
+            target = (
+                self._base_shards + 1 if self._grow_next
+                else self._base_shards
+            )
+            self._grow_next = not self._grow_next
+            ticket = service.submit("reshard", shards=target)
+            return ("reshard", target, ticket)
         # Churn: a create immediately chased by its drop; FIFO ordering
         # in the single lane guarantees the create lands first.
         self._scratch += 1

@@ -1,0 +1,162 @@
+"""Automatic rollback of regressing time-model refits.
+
+A refit is accepted on the window that triggered it; this suite covers
+the *forward* check — once enough drift accumulates under the refitted
+model, it must beat the paper constants on that fresh data or be
+reverted (with the counter bumped and the alert gauge raised)."""
+
+import pytest
+
+from repro.analysis.timemodel import PAPER_TIME_MODEL, TimeModel
+from repro.errors import ConfigurationError
+from repro.obs.adaptive import ModelStore, Recalibrator
+from repro.obs.drift import DriftRecord
+from repro.obs.registry import MetricsRegistry
+
+FITTED_AT = 1_000.0
+
+
+def _record(timestamp, seconds, comparisons=10_000, replicated=500, k=32):
+    return DriftRecord(
+        timestamp=timestamp, algorithm="DCJ", k=k,
+        r_size=100, s_size=200,
+        observed={"seconds": seconds, "comparisons": comparisons,
+                  "replicated": replicated},
+    )
+
+
+def _history(count, start, model, noise=1.0):
+    """Drift records whose observed seconds are exactly what ``model``
+    predicts (scaled by ``noise``) — so that model's error on them is 0
+    (or the chosen offset) by construction."""
+    records = []
+    for i in range(count):
+        comparisons = 10_000 + 17 * i
+        replicated = 500 + 3 * i
+        seconds = model.predict(comparisons, replicated, 32) * noise
+        records.append(_record(start + 1 + i, seconds,
+                               comparisons=comparisons,
+                               replicated=replicated))
+    return records
+
+
+def _store_with_refit(path=None, scale=10.0):
+    """A store whose active refit mispredicts by ``scale``×."""
+    store = ModelStore(path)
+    bad = TimeModel(c1=PAPER_TIME_MODEL.c1 * scale,
+                    c2=PAPER_TIME_MODEL.c2 * scale,
+                    c3=PAPER_TIME_MODEL.c3)
+    store.add_version(bad, records=30, window=200,
+                      mean_abs_error_before=0.4, mean_abs_error_after=0.1,
+                      wall=lambda: FITTED_AT)
+    return store
+
+
+class TestModelStoreRollback:
+    def test_rollback_restores_the_previous_model(self, tmp_path):
+        path = str(tmp_path / "models.json")
+        store = _store_with_refit(path)
+        assert store.active_version == 1
+        removed = store.rollback()
+        assert removed.version == 1
+        assert store.active_version == 0
+        assert store.active is PAPER_TIME_MODEL
+        # the pop persisted: a fresh load agrees
+        assert ModelStore(path).active_version == 0
+
+    def test_rollback_on_empty_store_is_an_error(self):
+        with pytest.raises(ConfigurationError, match="roll back"):
+            ModelStore().rollback()
+
+
+class TestMaybeRollback:
+    def test_regression_reverts_and_alerts(self):
+        registry = MetricsRegistry()
+        store = _store_with_refit()
+        recalibrator = Recalibrator(store=store, registry=registry)
+        history = _history(25, FITTED_AT, PAPER_TIME_MODEL)
+        outcome = recalibrator.maybe_rollback(history)
+        assert outcome.reverted
+        assert outcome.active_error > outcome.base_error
+        assert outcome.removed.version == 1
+        assert store.active_version == 0
+        assert registry.counter(
+            "setjoin_model_rollback_total", ""
+        ).value == 1
+        assert registry.gauge(
+            "setjoin_model_rollback_alert", ""
+        ).value == 1
+        # published model gauges now show the paper constants again
+        assert registry.gauge(
+            "setjoin_model_c1", ""
+        ).value == PAPER_TIME_MODEL.c1
+        assert registry.gauge("setjoin_model_version", "").value == 0
+
+    def test_healthy_refit_survives_and_clears_the_alert(self):
+        registry = MetricsRegistry()
+        store = _store_with_refit(scale=1.0)  # refit == paper constants
+        recalibrator = Recalibrator(store=store, registry=registry)
+        history = _history(25, FITTED_AT, PAPER_TIME_MODEL)
+        outcome = recalibrator.maybe_rollback(history)
+        assert not outcome.reverted
+        assert "holding up" in outcome.reason
+        assert store.active_version == 1
+        assert registry.gauge(
+            "setjoin_model_rollback_alert", ""
+        ).value == 0
+
+    def test_thin_post_refit_history_is_left_alone(self):
+        store = _store_with_refit()
+        recalibrator = Recalibrator(store=store,
+                                    registry=MetricsRegistry())
+        history = _history(5, FITTED_AT, PAPER_TIME_MODEL)
+        outcome = recalibrator.maybe_rollback(history)
+        assert not outcome.reverted
+        assert "5 drift records" in outcome.reason
+        assert store.active_version == 1
+
+    def test_pre_refit_records_do_not_count(self):
+        store = _store_with_refit()
+        recalibrator = Recalibrator(store=store,
+                                    registry=MetricsRegistry())
+        # plenty of records, but all observed *before* the refit
+        history = _history(40, FITTED_AT - 500, PAPER_TIME_MODEL)
+        outcome = recalibrator.maybe_rollback(history)
+        assert not outcome.reverted
+        assert store.active_version == 1
+
+    def test_unrefitted_store_is_a_noop(self):
+        recalibrator = Recalibrator(registry=MetricsRegistry())
+        outcome = recalibrator.maybe_rollback([])
+        assert not outcome.reverted
+        assert "nothing to roll back" in outcome.reason
+
+    def test_unusable_samples_do_not_judge(self):
+        store = _store_with_refit()
+        recalibrator = Recalibrator(store=store,
+                                    registry=MetricsRegistry())
+        # enough records, but none carry usable observations
+        history = [
+            DriftRecord(timestamp=FITTED_AT + 1 + i, algorithm="DCJ",
+                        k=32, r_size=1, s_size=1)
+            for i in range(25)
+        ]
+        outcome = recalibrator.maybe_rollback(history)
+        assert not outcome.reverted
+        assert "usable samples" in outcome.reason
+
+    def test_min_rollback_records_is_validated(self):
+        with pytest.raises(ConfigurationError):
+            Recalibrator(min_rollback_records=0,
+                         registry=MetricsRegistry())
+
+    def test_rollback_persists_across_reload(self, tmp_path):
+        path = str(tmp_path / "models.json")
+        store = _store_with_refit(path)
+        recalibrator = Recalibrator(store=store,
+                                    registry=MetricsRegistry())
+        history = _history(25, FITTED_AT, PAPER_TIME_MODEL)
+        assert recalibrator.maybe_rollback(history).reverted
+        reloaded = ModelStore(path)
+        assert reloaded.active_version == 0
+        assert reloaded.active is reloaded.base_model
