@@ -314,6 +314,16 @@ def main(argv: list[str] | None = None) -> int:
         help="also write a span trace of the first workload (JSON Lines)",
     )
     parser.add_argument(
+        "--profile", metavar="PATH", default=None,
+        help="sample the suite with the stack profiler and write the "
+        "hot-path report here",
+    )
+    parser.add_argument(
+        "--profile-repeats", type=int, default=5,
+        help="extra suite repetitions while profiling, so short suites "
+        "still accumulate enough samples (default 5)",
+    )
+    parser.add_argument(
         "--history", metavar="PATH", default=None,
         help="append this run to a JSONL history file and, with --check, "
         "also compare wall time against the rolling median of prior runs",
@@ -325,7 +335,28 @@ def main(argv: list[str] | None = None) -> int:
     )
     arguments = parser.parse_args(argv)
 
+    profiler = None
+    if arguments.profile:
+        from repro.obs.profile import SamplingProfiler
+
+        profiler = SamplingProfiler()
+        profiler.start()
     snapshot = run_suite(scale=arguments.scale, trace_path=arguments.trace)
+    if profiler is not None:
+        # The canonical suite runs in about a second; repeat it so the
+        # sampler sees enough of the hot loops to rank them stably.
+        for __ in range(max(arguments.profile_repeats, 0)):
+            run_suite(scale=arguments.scale)
+        profiler.stop()
+        report = profiler.report()
+        with open(arguments.profile, "w") as handle:
+            handle.write(profiler.render() + "\n")
+        print(
+            f"profile: {report['attributed']} samples attributed "
+            f"({report['unknown_share'] * 100:.1f}% unknown, "
+            f"overhead {report['overhead'] * 100:.2f}%) -> "
+            f"{arguments.profile}"
+        )
     write_baseline(snapshot, arguments.out)
     prior_runs: list[dict] = []
     if arguments.history:

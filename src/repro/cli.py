@@ -341,6 +341,11 @@ def _cmd_serve_service(arguments) -> int:
     """The long-lived query service: ``repro serve --service DB``."""
     from .service import QueryService, ServiceServer
 
+    slo = {}
+    if arguments.slo_join is not None:
+        slo["join"] = arguments.slo_join
+    if arguments.slo_probe is not None:
+        slo["probe"] = arguments.slo_probe
     service = QueryService(
         arguments.service,
         workers=arguments.workers,
@@ -353,13 +358,18 @@ def _cmd_serve_service(arguments) -> int:
         recalibrate_every=arguments.recalibrate_every,
         model_store=arguments.model_store,
         trace_path=arguments.trace,
+        flight_recorder=arguments.flight_recorder,
+        postmortem_dir=arguments.postmortems,
+        slo=slo or None,
+        profile_hz=arguments.profile_hz,
     )
     service.start()
     service.install_signal_handlers()
     server = ServiceServer(service, arguments.host, arguments.port,
                            token=arguments.token).start()
     print(f"query service on {server.url} — POST /join, POST /probe, "
-          f"GET /readyz, /healthz, /metrics "
+          f"GET /readyz, /healthz, /metrics, /debug/queries, "
+          f"/debug/query/<id>, /debug/profile "
           f"(workers={arguments.workers}, backend={arguments.backend}, "
           f"queue={arguments.queue_depth}; SIGTERM or Ctrl-C drains)",
           file=sys.stderr)
@@ -738,6 +748,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--model-store", metavar="JSON", default=None,
                        help="versioned time-model store for the "
                        "recalibration loop")
+    serve.add_argument("--flight-recorder", metavar="N", type=int,
+                       default=None,
+                       help="with --service: keep the last N finished "
+                       "queries (timeline, plan, span tree) queryable at "
+                       "GET /debug/queries and /debug/query/<id>")
+    serve.add_argument("--postmortems", metavar="DIR", default=None,
+                       help="with --service: dump a postmortem JSON into "
+                       "DIR for every failed or objective-breaching query "
+                       "(implies --flight-recorder 128)")
+    serve.add_argument("--slo-join", metavar="SECONDS", type=float,
+                       default=None,
+                       help="with --service: latency objective for join "
+                       "queries; outcomes feed setjoin_slo_join_* burn-rate "
+                       "gauges on /metrics")
+    serve.add_argument("--slo-probe", metavar="SECONDS", type=float,
+                       default=None,
+                       help="with --service: latency objective for probe "
+                       "queries")
+    serve.add_argument("--profile-hz", metavar="HZ", type=float,
+                       default=None,
+                       help="with --service: run the stack-sampling "
+                       "profiler at HZ and expose GET /debug/profile")
     serve.add_argument("--trace", metavar="JSONL", default=None,
                        help="append per-query span traces to this JSONL "
                        "file")

@@ -199,6 +199,7 @@ class SetContainmentJoin:
         shard_timeout: float | None = None,
         shard_hook=None,
         tracer=None,
+        query_id: int | None = None,
     ):
         """Configure the operator.
 
@@ -291,6 +292,15 @@ class SetContainmentJoin:
         #: per-shard delays, I/O faults and worker kills.
         self.shard_hook = shard_hook
         self.tracer = tracer
+        #: service-level query this run serves; stamped on the join span
+        #: and threaded into worker shard specs so every span of the run
+        #: stitches back to one query trace.
+        self.query_id = query_id
+        #: the tracer run() resolved for the current execution.  Phases
+        #: and the parallel engine read this instead of the ambient
+        #: global, which is a shared slot and races under the dist
+        #: coordinator's thread fanout.
+        self._run_tracer = None
         #: test hook threaded into parallel workers: fail the worker's own
         #: disk manager after N physical I/Os (see repro.parallel.worker).
         self._worker_fault_after: int | None = None
@@ -315,16 +325,19 @@ class SetContainmentJoin:
             signature_bits=self.signature_bits,
         )
         tracer = self.tracer if self.tracer is not None else current_tracer()
+        self._run_tracer = tracer
         pool_before = self.testbed.pool.stats.snapshot()
-        with use_tracer(tracer), tracer.span(
-            "join",
+        root_attrs = dict(
             algorithm=metrics.algorithm,
             k=metrics.num_partitions,
             r_size=metrics.r_size,
             s_size=metrics.s_size,
             engine=self.engine,
             workers=self.workers,
-        ) as root:
+        )
+        if self.query_id is not None:
+            root_attrs["query_id"] = self.query_id
+        with use_tracer(tracer), tracer.span("join", **root_attrs) as root:
             parts_r, parts_s = self._partition_phase(metrics)
             candidates: _CandidateSink | None = None
             try:
@@ -378,6 +391,18 @@ class SetContainmentJoin:
         self._resident_r = []
         self._resident_s = []
 
+    def _active_tracer(self):
+        """The tracer run() resolved, falling back to the ambient one.
+
+        Phases must not read the ambient global directly: under the dist
+        coordinator's thread fanout several operators run concurrently
+        and the ambient slot is last-writer-wins, which would nest one
+        shard's phases under another shard's tree.
+        """
+        if self._run_tracer is not None:
+            return self._run_tracer
+        return current_tracer()
+
     # ------------------------------------------------------------------
     # Phase 1: partitioning
     # ------------------------------------------------------------------
@@ -394,7 +419,7 @@ class SetContainmentJoin:
         self._resident_r = [[] for __ in range(resident)]
         self._resident_s = [[] for __ in range(resident)]
 
-        tracer = current_tracer()
+        tracer = self._active_tracer()
         self.partitioner.reset_route_stats()
         parts_r: PartitionStore | None = None
         parts_s: PartitionStore | None = None
@@ -479,7 +504,7 @@ class SetContainmentJoin:
         disk = self.testbed.disk
         before = disk.stats.snapshot()
         started = time.perf_counter()
-        tracer = current_tracer()
+        tracer = self._active_tracer()
         if self.spill_candidates:
             candidates: _CandidateSink = _SpilledCandidates(self.testbed.pool)
         else:
@@ -540,7 +565,7 @@ class SetContainmentJoin:
         disk = self.testbed.disk
         before = disk.stats.snapshot()
         started = time.perf_counter()
-        with current_tracer().span(
+        with self._active_tracer().span(
             "phase.join",
             workers=self.workers,
             backend=self.parallel_backend,
@@ -586,7 +611,7 @@ class SetContainmentJoin:
         verified only the first time it appears.
         """
         disk = self.testbed.disk
-        tracer = current_tracer()
+        tracer = self._active_tracer()
         result: set[tuple[int, int]] = set()
         seen: set[tuple[int, int]] = set()
         join_seconds = 0.0
@@ -715,7 +740,7 @@ class SetContainmentJoin:
         disk = self.testbed.disk
         before = disk.stats.snapshot()
         started = time.perf_counter()
-        with current_tracer().span("phase.verify") as span:
+        with self._active_tracer().span("phase.verify") as span:
             pairs = list(candidates.sorted_pairs())
             candidates.dispose()
             r_sets = self.testbed.relation_r.fetch_many(

@@ -334,6 +334,7 @@ class SetJoinDatabase:
         shard_timeout: float | None = None,
         shard_hook=None,
         tracer=None,
+        query_id: int | None = None,
     ) -> tuple[set[tuple[int, int]], JoinMetrics]:
         """Set containment join of two stored relations (R ⊆ S side order).
 
@@ -375,7 +376,7 @@ class SetJoinDatabase:
             testbed, partitioner, signature_bits=signature_bits,
             engine=engine, workers=workers, parallel_backend=backend,
             shard_timeout=shard_timeout, shard_hook=shard_hook,
-            tracer=tracer,
+            tracer=tracer, query_id=query_id,
         )
         pairs, metrics = join.run(cold_cache=False)
         # Publish to the process registry so long-lived sessions (and the

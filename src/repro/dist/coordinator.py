@@ -471,6 +471,7 @@ class ShardedDatabase:
         shard_hook=None,
         tracer=None,
         partitioner=None,
+        query_id: "int | None" = None,
     ) -> tuple[set[tuple[int, int]], JoinMetrics]:
         """Distributed set containment join; same contract as
         :meth:`SetJoinDatabase.join`.
@@ -490,14 +491,16 @@ class ShardedDatabase:
             partitioner = deterministic_partitioner(partitioner)
         tracer = tracer if tracer is not None else current_tracer()
         merge_started = None
-        with use_tracer(tracer), tracer.span(
-            "dist.join",
+        root_attrs = dict(
             shards=len(self.shards),
             algorithm=partitioner.name,
             k=partitioner.num_partitions,
             prune=self.prune,
             fanout=self.fanout,
-        ) as root:
+        )
+        if query_id is not None:
+            root_attrs["query_id"] = query_id
+        with use_tracer(tracer), tracer.span("dist.join", **root_attrs) as root:
             placement_started = time.perf_counter()
             planner, rows_by_shard = self._place(
                 r_name, s_name, partitioner, signature_bits
@@ -516,6 +519,8 @@ class ShardedDatabase:
                     backend=backend,
                     shard_timeout=shard_timeout,
                     shard_hook=shard_hook,
+                    trace=tracer.enabled,
+                    query_id=query_id,
                 )
                 for sid, rows in sorted(rows_by_shard.items())
                 if rows and summaries[sid].rows
@@ -527,6 +532,14 @@ class ShardedDatabase:
                 self._dispatch(requests), key=lambda resp: resp.shard_id
             )
             fanout_seconds = time.perf_counter() - fanout_started
+            if tracer.enabled:
+                # Stitch each shard's span tree (built on the shard's own
+                # tracer, see Shard.execute_join) under the fan-out root
+                # in shard order — one coherent query tree regardless of
+                # serial vs. thread fan-out.
+                for response in responses:
+                    if response.spans:
+                        tracer.adopt(response.spans, parent=root)
 
             merge_started = time.perf_counter()
             pairs: "list[tuple[int, int]]" = []

@@ -56,6 +56,12 @@ class ShardJoinRequest:
     backend: str = "serial"
     shard_timeout: "float | None" = None
     shard_hook: object = None
+    #: build a span tree for this shard join and ship it back in the
+    #: response (plain dicts, so the message stays serializable).
+    trace: bool = False
+    #: the service-level query this join serves; stamped on every span
+    #: so cross-shard traces stitch into one query tree.
+    query_id: "int | None" = None
 
 
 @dataclass
@@ -67,6 +73,11 @@ class ShardJoinResponse:
     metrics: object = None
     r_rows: int = 0
     s_rows: int = 0
+    #: the shard's serialized span tree (from ``Tracer.export()``);
+    #: empty when the request did not ask for tracing.  The coordinator
+    #: adopts these under its fan-out span, mirroring how process
+    #: workers ship spans on :class:`repro.parallel.worker.ShardResult`.
+    spans: "list[dict]" = field(default_factory=list)
 
 
 class Shard:
@@ -134,6 +145,24 @@ class Shard:
         """
         s_store = self.db.get_store(request.s_name)
         rows = sorted(request.r_rows)
+        # The shard builds its *own* tracer rather than borrowing the
+        # coordinator's: under thread fan-out a shared tracer's span
+        # stack is a race, and a future remote shard could not share one
+        # anyway.  The exported records ship back on the response and
+        # the coordinator stitches them, exactly like process workers.
+        tracer = None
+        shard_span = None
+        if request.trace:
+            from ..obs.trace import Tracer
+
+            tags = {"shard_id": self.shard_id}
+            if request.query_id is not None:
+                tags["query_id"] = request.query_id
+            tracer = Tracer(tags=tags)
+            shard_span = tracer.start(
+                "dist.shard", shard_id=self.shard_id,
+                r_rows=len(rows), s_rows=len(s_store),
+            )
         portion = RelationStore.create_sorted(
             self.db.pool, iter(rows),
             name=f"__dist_r_portion_{self.shard_id}",
@@ -151,19 +180,30 @@ class Shard:
                 parallel_backend=request.backend,
                 shard_timeout=request.shard_timeout,
                 shard_hook=request.shard_hook,
+                tracer=tracer,
+                query_id=request.query_id,
             )
             pairs, metrics = join.run(cold_cache=False)
+        except BaseException as error:
+            if shard_span is not None:
+                shard_span.set(error=type(error).__name__)
+                tracer.finish(shard_span)
+            raise
         finally:
             from ..storage.btree import BTree
 
             with suppress(SetJoinError):
                 BTree(self.db.pool, portion.meta_page_id).destroy()
+        if shard_span is not None:
+            shard_span.set(pairs=len(pairs))
+            tracer.finish(shard_span)
         return ShardJoinResponse(
             shard_id=self.shard_id,
             pairs=sorted(pairs),
             metrics=metrics,
             r_rows=len(rows),
             s_rows=len(s_store),
+            spans=tracer.export() if tracer is not None else [],
         )
 
     # ------------------------------------------------------------------

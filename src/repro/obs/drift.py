@@ -28,7 +28,6 @@ paper's headline number is the mean of the absolute values.
 from __future__ import annotations
 
 import json
-import os
 import time
 from dataclasses import dataclass, field
 
@@ -239,14 +238,9 @@ def environment_fingerprint() -> dict:
     constants.  The fingerprint captures the dimensions that move the
     time model's c1/c2/c3.
     """
-    import platform
+    from .rotation import environment_fingerprint as _fingerprint
 
-    return {
-        "platform": platform.platform(),
-        "machine": platform.machine(),
-        "python": platform.python_version(),
-        "cpus": os.cpu_count() or 1,
-    }
+    return _fingerprint()
 
 
 def rotate_drift_jsonl(
@@ -273,53 +267,28 @@ def rotate_drift_jsonl(
     Returns a summary dict: ``{"archived": bool, "rotated": bool,
     "kept": int, "dropped": int}``.  A missing history file is a no-op
     apart from writing the meta sidecar.
+
+    Since PR 8 this is a thin wrapper over the shared
+    :func:`repro.obs.rotation.rotate_jsonl` (the same discipline also
+    caps the service's per-query trace history); only the line parser —
+    a :class:`DriftRecord` round-trip, so compaction sheds records the
+    recalibrator could not load — is drift-specific.
     """
-    fingerprint = (
-        fingerprint if fingerprint is not None else environment_fingerprint()
+    from .rotation import rotate_jsonl
+
+    def _parse(line: str) -> dict:
+        return DriftRecord.from_dict(json.loads(line)).to_dict()
+
+    return rotate_jsonl(
+        path,
+        max_bytes=max_bytes,
+        keep=keep,
+        fingerprint=(
+            fingerprint if fingerprint is not None
+            else environment_fingerprint()
+        ),
+        parse=_parse,
     )
-    meta_path = path + ".meta.json"
-    out = {"archived": False, "rotated": False, "kept": 0, "dropped": 0}
-
-    stored = None
-    if os.path.exists(meta_path):
-        try:
-            with open(meta_path) as handle:
-                stored = json.load(handle).get("fingerprint")
-        except (OSError, ValueError):
-            stored = None  # unreadable meta: treat as foreign history
-
-    if os.path.exists(path) and stored is not None and stored != fingerprint:
-        os.replace(path, path + ".stale")
-        out["archived"] = True
-
-    if os.path.exists(path) and os.path.getsize(path) > max_bytes:
-        records = []
-        with open(path) as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    records.append(DriftRecord.from_dict(json.loads(line)))
-                except (ValueError, ConfigurationError):
-                    continue  # compaction sheds malformed lines
-        kept = records[-keep:] if keep > 0 else []
-        tmp = path + ".tmp"
-        with open(tmp, "w") as handle:
-            for record in kept:
-                handle.write(json.dumps(record.to_dict(), sort_keys=True)
-                             + "\n")
-        os.replace(tmp, path)
-        out["rotated"] = True
-        out["kept"] = len(kept)
-        out["dropped"] = len(records) - len(kept)
-
-    with open(meta_path, "w") as handle:
-        json.dump(
-            {"fingerprint": fingerprint, "stamped": time.time()},
-            handle, sort_keys=True,
-        )
-    return out
 
 
 def calibration_residuals(model, samples) -> "list[dict]":

@@ -168,6 +168,53 @@ def _tree_from_records(records: list[dict]) -> list[Span]:
     return sorted(roots, key=lambda root: root.start)
 
 
+def _group_shards(span: Span) -> None:
+    """Collapse concurrent shard children under one synthetic group span.
+
+    Shards run in parallel, so rendering each one's duration as a share
+    of the parent's wall time over-counts — the bars for an 8-shard
+    join "sum" to several hundred percent.  When a span has two or more
+    shard children (the engine's ``shard`` spans or the distributed
+    layer's ``dist.shard`` spans), they are regrouped under one
+    ``shards`` line that reports the wall-clock cost (max over shards)
+    alongside the aggregate work (sum over shards); the per-shard lines
+    nest beneath it, ordered by shard id.
+    """
+    for child in span.children:
+        _group_shards(child)
+    shard_children = [
+        child for child in span.children
+        if child.name in ("shard", "dist.shard")
+    ]
+    if len(shard_children) >= 2:
+        durations = [child.duration for child in shard_children]
+        group = Span(
+            "shards",
+            f"{span.span_id}:shards",
+            span.span_id,
+            min(child.start for child in shard_children),
+            max(child.end if child.end is not None else child.start
+                for child in shard_children),
+            {
+                "count": len(shard_children),
+                "max": f"{max(durations) * 1000:.3f}ms",
+                "sum": f"{sum(durations) * 1000:.3f}ms",
+            },
+        )
+        group.children = sorted(
+            shard_children,
+            key=lambda child: (
+                child.attrs.get("index", child.attrs.get("shard_id", 0)),
+                child.start,
+            ),
+        )
+        span.children = [
+            child for child in span.children if child not in shard_children
+        ]
+        span.children.append(group)
+        span.children.sort(key=lambda child: child.start)
+
+
 def _summary_attrs(span: Span) -> str:
     interesting = {
         key: value
@@ -226,6 +273,7 @@ def console_summary(source, max_depth: int = 3, registry=None) -> str:
         return "(empty trace)"
     lines: list[str] = []
     for root in roots:
+        _group_shards(root)
         _render_span(root, root.duration, "", None, lines, max_depth, 0)
     if registry is not None:
         latency = registry.get("setjoin_join_seconds")

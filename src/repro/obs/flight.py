@@ -1,0 +1,215 @@
+"""Flight recorder: request-scoped context and per-query postmortems.
+
+A query that is admitted, retried across the backend ladder, fanned out
+to N shards, and killed by chaos used to leave its evidence scattered
+across uncorrelated spans, counters, and log lines.  This module is the
+correlation layer:
+
+* :class:`QueryContext` — the request-scoped identity minted alongside
+  the ``query_id`` at admission (:mod:`repro.service.queue`).  It rides
+  the query through the retry ladder and collects a wall-clock-stamped
+  **timeline** (admission, attempts, retries, breaker transitions,
+  chaos events) plus snapshots the service attaches as the query
+  executes: the chosen plan (EXPLAIN node list), the drift record, the
+  metrics-registry delta, and the exported span tree.
+* :class:`FlightRecorder` — a bounded in-memory ring of completed
+  :class:`QueryContext` snapshots, queryable over HTTP
+  (``GET /debug/queries`` / ``GET /debug/query/<id>``).  When a query
+  errors, breaches its deadline, or exceeds its latency objective the
+  recorder freezes a self-contained **postmortem** — kept in a separate
+  bounded map so ring churn cannot evict the interesting failures, and
+  optionally dumped as a JSON file for offline analysis (the CI chaos
+  job uploads these as artifacts).
+
+The recorder is observation-only: it copies plain data out of the
+query path and never feeds anything back, so join results are
+bit-identical with the recorder on or off (pinned by tests).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import OrderedDict
+
+from .rotation import environment_fingerprint
+
+__all__ = ["QueryContext", "FlightRecorder"]
+
+#: Statuses a finished query can record; anything but "ok" is a
+#: postmortem trigger.
+TERMINAL_STATUSES = ("ok", "deadline_exceeded", "error", "internal_error")
+
+
+class QueryContext:
+    """Per-query identity and evidence accumulator.
+
+    Created where the ``query_id`` is minted and mutated only from the
+    service's single execution lane, so no locking is needed until the
+    finished snapshot is handed to the :class:`FlightRecorder`.
+    """
+
+    __slots__ = (
+        "query_id", "kind", "created_at", "timeline",
+        "plan", "drift", "registry_delta", "spans", "_wall",
+    )
+
+    def __init__(self, query_id: int, kind: str, wall=None):
+        self.query_id = query_id
+        self.kind = kind
+        self._wall = wall if wall is not None else time.time
+        self.created_at = self._wall()
+        self.timeline: list[dict] = []
+        self.plan: dict | None = None
+        self.drift: dict | None = None
+        self.registry_delta: dict | None = None
+        self.spans: list[dict] = []
+
+    def event(self, kind: str, **fields) -> dict:
+        """Append one wall-stamped event to the timeline."""
+        record = {"event": kind, "at": self._wall()}
+        record.update(fields)
+        self.timeline.append(record)
+        return record
+
+    def snapshot(self) -> dict:
+        """Plain-data copy of everything collected so far."""
+        return {
+            "query_id": self.query_id,
+            "kind": self.kind,
+            "created_at": self.created_at,
+            "timeline": [dict(event) for event in self.timeline],
+            "plan": dict(self.plan) if self.plan is not None else None,
+            "drift": dict(self.drift) if self.drift is not None else None,
+            "registry_delta": (
+                dict(self.registry_delta)
+                if self.registry_delta is not None else None
+            ),
+            "spans": [dict(span) for span in self.spans],
+        }
+
+
+class FlightRecorder:
+    """Bounded ring of finished queries plus frozen postmortems.
+
+    ``capacity`` bounds both the ring and the postmortem map; memory use
+    is therefore O(capacity × per-query evidence) regardless of uptime.
+    ``postmortem_dir`` additionally dumps each postmortem as
+    ``postmortem-q<id>.json`` (self-contained: includes the environment
+    fingerprint).  Reads come from HTTP handler threads while writes
+    come from the execution lane, hence the lock.
+    """
+
+    def __init__(self, capacity: int = 128, postmortem_dir: str | None = None,
+                 registry=None, wall=None):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.postmortem_dir = postmortem_dir
+        self._wall = wall if wall is not None else time.time
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[int, dict]" = OrderedDict()
+        self._postmortems: "OrderedDict[int, dict]" = OrderedDict()
+        from .registry import get_registry
+
+        reg = registry if registry is not None else get_registry()
+        self._recorded = reg.counter(
+            "setjoin_flight_recorded_total",
+            "Queries captured by the flight recorder",
+        )
+        self._dumped = reg.counter(
+            "setjoin_flight_postmortems_total",
+            "Postmortems frozen for failed or objective-breaching queries",
+        )
+
+    def record(self, context: QueryContext, status: str, seconds: float,
+               attempts: int = 0, error: BaseException | None = None,
+               objective: float | None = None) -> dict:
+        """Capture one finished query; freeze a postmortem if warranted.
+
+        ``objective`` is the query kind's latency objective in seconds
+        (from the SLO tracker); exceeding it makes an otherwise-ok query
+        a slow-query postmortem.  Returns the recorded entry.
+        """
+        entry = context.snapshot()
+        entry["status"] = status
+        entry["seconds"] = seconds
+        entry["attempts"] = attempts
+        entry["recorded_at"] = self._wall()
+        if error is not None:
+            entry["error"] = {
+                "type": type(error).__name__,
+                "detail": str(error),
+            }
+        else:
+            entry["error"] = None
+
+        reason = None
+        if status != "ok":
+            reason = status
+        elif objective is not None and seconds is not None \
+                and seconds > objective:
+            reason = "latency_objective_exceeded"
+
+        with self._lock:
+            self._entries[context.query_id] = entry
+            self._entries.move_to_end(context.query_id)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            self._recorded.inc()
+            if reason is not None:
+                postmortem = dict(entry)
+                postmortem["postmortem_reason"] = reason
+                postmortem["objective_seconds"] = objective
+                postmortem["environment"] = environment_fingerprint()
+                self._postmortems[context.query_id] = postmortem
+                while len(self._postmortems) > self.capacity:
+                    self._postmortems.popitem(last=False)
+                self._dumped.inc()
+                if self.postmortem_dir is not None:
+                    self._dump(postmortem)
+        return entry
+
+    def _dump(self, postmortem: dict) -> None:
+        os.makedirs(self.postmortem_dir, exist_ok=True)
+        path = os.path.join(
+            self.postmortem_dir,
+            f"postmortem-q{postmortem['query_id']}.json",
+        )
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(postmortem, handle, sort_keys=True, indent=2)
+        os.replace(tmp, path)
+
+    def entries(self) -> "list[dict]":
+        """Newest-first one-line summaries for ``GET /debug/queries``."""
+        with self._lock:
+            rows = list(self._entries.values())
+            frozen = set(self._postmortems)
+        rows.reverse()
+        return [
+            {
+                "query_id": entry["query_id"],
+                "kind": entry["kind"],
+                "status": entry["status"],
+                "seconds": entry["seconds"],
+                "attempts": entry["attempts"],
+                "postmortem": entry["query_id"] in frozen,
+            }
+            for entry in rows
+        ]
+
+    def get(self, query_id: int) -> dict | None:
+        """Full evidence for one query; postmortems outlive the ring."""
+        with self._lock:
+            if query_id in self._postmortems:
+                return dict(self._postmortems[query_id])
+            entry = self._entries.get(query_id)
+            return dict(entry) if entry is not None else None
+
+    def postmortems(self) -> "list[int]":
+        """Query ids with frozen postmortems (newest last)."""
+        with self._lock:
+            return list(self._postmortems)

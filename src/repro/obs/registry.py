@@ -111,6 +111,13 @@ class Histogram:
         self.sum += value
         self.count += 1
 
+    @property
+    def observations(self) -> int:
+        """Observation count, exposed so ratio math (percentiles, SLO
+        burn rates) can guard against dividing by zero on an idle
+        series instead of special-casing ``percentile() is None``."""
+        return self.count
+
     def cumulative(self) -> "list[tuple[float, int]]":
         """``(le, cumulative_count)`` per bucket, Prometheus style."""
         total = 0

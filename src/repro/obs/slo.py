@@ -1,0 +1,231 @@
+"""Service-level objectives: latency/error targets and burn rates.
+
+The query service promises, per query kind, that a target fraction of
+queries finish successfully within a latency objective.  This module
+turns each finished query into an SLO observation and answers the
+on-call question "how fast are we spending the error budget?":
+
+* an observation is **bad** when the query failed *or* exceeded its
+  kind's latency objective;
+* over each configured window, ``burn_rate = bad_fraction /
+  error_budget`` — 1.0 means the budget is being consumed exactly as
+  fast as the SLO allows, >1.0 means an eventual breach;
+* the classic multi-window rule avoids paging on blips: an alert fires
+  only when *every* window burns above the threshold (the short window
+  proves the problem is current, the long one proves it is sustained).
+
+Idle-service arithmetic is explicit: a window with zero observations
+reports burn rate 0.0 and exposes its observation count, so dashboards
+can distinguish "healthy" from "no data" and the math never divides by
+zero (the companion fix exposes ``Histogram.observations`` for the
+same reason).
+
+Everything is published as ``setjoin_slo_*`` series on ``/metrics``:
+per kind and window a burn-rate gauge and an observation-count gauge,
+per kind a breach counter and an alert gauge.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["SLObjective", "SLOTracker", "DEFAULT_WINDOWS"]
+
+#: Default burn-rate windows in seconds: a fast window that reacts and a
+#: slow window that confirms.
+DEFAULT_WINDOWS = (60.0, 600.0)
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One query kind's promise.
+
+    ``latency`` — seconds a query may take and still count as good
+    (``None`` disables the latency criterion; only errors burn budget).
+    ``error_budget`` — allowed bad fraction (0.01 ⇒ 99% objective).
+    """
+
+    kind: str
+    latency: float | None = None
+    error_budget: float = 0.01
+
+    def __post_init__(self):
+        if self.latency is not None and self.latency <= 0:
+            raise ConfigurationError(
+                f"SLO latency for {self.kind!r} must be positive, "
+                f"got {self.latency}"
+            )
+        if not 0.0 < self.error_budget <= 1.0:
+            raise ConfigurationError(
+                f"SLO error budget for {self.kind!r} must be in (0, 1], "
+                f"got {self.error_budget}"
+            )
+
+
+class SLOTracker:
+    """Sliding-window burn-rate computation over query outcomes.
+
+    ``objectives`` maps query kind to :class:`SLObjective` (or to a
+    plain latency float, promoted with the default budget).  The clock
+    is injected; observations are pruned lazily against the slowest
+    window, so memory is bounded by traffic × slowest window.
+    """
+
+    def __init__(self, objectives, windows=DEFAULT_WINDOWS,
+                 alert_burn_rate: float = 1.0, clock=None, registry=None):
+        if not objectives:
+            raise ConfigurationError("SLOTracker needs at least one objective")
+        if not windows:
+            raise ConfigurationError("SLOTracker needs at least one window")
+        self.windows = tuple(sorted(float(w) for w in windows))
+        if self.windows[0] <= 0:
+            raise ConfigurationError(
+                f"SLO windows must be positive, got {windows}"
+            )
+        if alert_burn_rate <= 0:
+            raise ConfigurationError(
+                f"alert burn rate must be positive, got {alert_burn_rate}"
+            )
+        self.alert_burn_rate = alert_burn_rate
+        self._clock = clock if clock is not None else time.monotonic
+        self.objectives: "dict[str, SLObjective]" = {}
+        for kind, objective in dict(objectives).items():
+            if not isinstance(objective, SLObjective):
+                objective = SLObjective(kind=kind, latency=float(objective))
+            self.objectives[kind] = objective
+        # (timestamp, good) pairs per kind, oldest first.
+        self._events: "dict[str, deque]" = {
+            kind: deque() for kind in self.objectives
+        }
+        from .registry import get_registry
+
+        reg = registry if registry is not None else get_registry()
+        self._registry = reg
+        self._breaches = {
+            kind: reg.counter(
+                f"setjoin_slo_{kind}_breaches_total",
+                f"Queries of kind {kind} that failed or exceeded the "
+                "latency objective",
+            )
+            for kind in self.objectives
+        }
+        self._alerts = {
+            kind: reg.gauge(
+                f"setjoin_slo_{kind}_alert",
+                f"1 when every burn-rate window for {kind} exceeds "
+                f"{alert_burn_rate:g}",
+            )
+            for kind in self.objectives
+        }
+        self._burn_gauges = {}
+        self._count_gauges = {}
+        for kind in self.objectives:
+            for window in self.windows:
+                label = self._window_label(window)
+                self._burn_gauges[(kind, window)] = reg.gauge(
+                    f"setjoin_slo_{kind}_burn_rate_{label}",
+                    f"Error-budget burn rate for {kind} over {label}",
+                )
+                self._count_gauges[(kind, window)] = reg.gauge(
+                    f"setjoin_slo_{kind}_observations_{label}",
+                    f"SLO observations for {kind} within {label} "
+                    "(burn rate is 0 when this is 0)",
+                )
+
+    @staticmethod
+    def _window_label(window: float) -> str:
+        return f"{int(window)}s"
+
+    def latency_objective(self, kind: str) -> float | None:
+        objective = self.objectives.get(kind)
+        return objective.latency if objective is not None else None
+
+    def tracks(self, kind: str) -> bool:
+        return kind in self.objectives
+
+    def observe(self, kind: str, seconds: float, ok: bool) -> bool | None:
+        """Record one finished query.  Returns whether it was good
+        (``None`` for untracked kinds)."""
+        objective = self.objectives.get(kind)
+        if objective is None:
+            return None
+        good = bool(ok) and (
+            objective.latency is None or seconds <= objective.latency
+        )
+        now = self._clock()
+        events = self._events[kind]
+        events.append((now, good))
+        self._prune(events, now)
+        if not good:
+            self._breaches[kind].inc()
+        self._publish(kind, now)
+        return good
+
+    def _prune(self, events: deque, now: float) -> None:
+        horizon = now - self.windows[-1]
+        while events and events[0][0] < horizon:
+            events.popleft()
+
+    def window_stats(self, kind: str, window: float,
+                     now: float | None = None) -> dict:
+        """``{"observations": n, "bad": n, "burn_rate": f}`` for one
+        window; burn rate is 0.0 on an empty window, never an error."""
+        objective = self.objectives[kind]
+        now = now if now is not None else self._clock()
+        horizon = now - window
+        observations = 0
+        bad = 0
+        for timestamp, good in self._events[kind]:
+            if timestamp >= horizon:
+                observations += 1
+                if not good:
+                    bad += 1
+        if observations == 0:
+            burn = 0.0
+        else:
+            burn = (bad / observations) / objective.error_budget
+        return {"observations": observations, "bad": bad, "burn_rate": burn}
+
+    def burn_rate(self, kind: str, window: float) -> float:
+        return self.window_stats(kind, window)["burn_rate"]
+
+    def alerting(self, kind: str, now: float | None = None) -> bool:
+        """Multi-window AND: every window above the alert threshold."""
+        now = now if now is not None else self._clock()
+        stats = [
+            self.window_stats(kind, window, now=now)
+            for window in self.windows
+        ]
+        if any(s["observations"] == 0 for s in stats):
+            return False
+        return all(
+            s["burn_rate"] > self.alert_burn_rate for s in stats
+        )
+
+    def _publish(self, kind: str, now: float) -> None:
+        for window in self.windows:
+            stats = self.window_stats(kind, window, now=now)
+            self._burn_gauges[(kind, window)].set(stats["burn_rate"])
+            self._count_gauges[(kind, window)].set(stats["observations"])
+        self._alerts[kind].set(1.0 if self.alerting(kind, now=now) else 0.0)
+
+    def report(self) -> dict:
+        """Per-kind snapshot for ``stats()`` and the debug surfaces."""
+        now = self._clock()
+        out = {}
+        for kind, objective in self.objectives.items():
+            out[kind] = {
+                "latency_objective": objective.latency,
+                "error_budget": objective.error_budget,
+                "alerting": self.alerting(kind, now=now),
+                "windows": {
+                    self._window_label(window):
+                        self.window_stats(kind, window, now=now)
+                    for window in self.windows
+                },
+            }
+        return out

@@ -26,6 +26,7 @@ un-traced runs pay almost nothing.
 
 from __future__ import annotations
 
+import itertools
 import time
 from contextlib import contextmanager
 from typing import Iterator
@@ -96,19 +97,31 @@ class Span:
                 f"duration={self.duration:.6f})")
 
 
+#: Process-wide span id allocator.  Per-tracer counters would restart at
+#: 1 for every query, so a JSONL file accumulating one tree per query
+#: (the service's trace log) would violate its own unique-id schema;
+#: drawing every id from one counter keeps any in-process mix of trees
+#: collision-free.  Ids from *other* processes are re-keyed on adoption.
+_span_ids = itertools.count(1)
+
+
 class Tracer:
     """Builds span trees; all time comes from the injected clocks."""
 
     enabled = True
 
-    def __init__(self, clock=None, wall=None):
+    def __init__(self, clock=None, wall=None, tags: dict | None = None):
         self._clock = clock if clock is not None else time.perf_counter
         wall_clock = wall if wall is not None else time.time
         self._clock0 = self._clock()
         self._wall0 = wall_clock()
         self.roots: list[Span] = []
         self._stack: list[Span] = []
-        self._next_id = 1
+        #: Request-scoped correlation attributes (e.g. ``query_id``)
+        #: stamped onto every root span this tracer opens or adopts, so
+        #: spans stay attributable after trees from many queries are
+        #: mixed in one JSONL file.
+        self.tags: dict = dict(tags) if tags else {}
 
     # ------------------------------------------------------------------
 
@@ -126,15 +139,18 @@ class Tracer:
         parent = self.current
         span = Span(
             name,
-            self._next_id,
+            next(_span_ids),
             parent.span_id if parent is not None else None,
             self._now(),
             attrs=dict(attrs) if attrs else {},
         )
-        self._next_id += 1
         if parent is not None:
             parent.children.append(span)
         else:
+            if self.tags:
+                # Tags under explicit attrs: a span naming its own
+                # query_id wins over the tracer-wide default.
+                span.attrs = {**self.tags, **span.attrs}
             self.roots.append(span)
         self._stack.append(span)
         return span
@@ -181,7 +197,8 @@ class Tracer:
         this so their span trees stay on the parent's timeline — and stay
         deterministic when the parent's clocks are injected fakes.
         """
-        return Tracer(clock=self._clock, wall=lambda: self._now())
+        return Tracer(clock=self._clock, wall=lambda: self._now(),
+                      tags=self.tags)
 
     def adopt(self, records: list[dict], parent: Span | None = None) -> list[Span]:
         """Graft foreign span records into this tracer's tree.
@@ -219,13 +236,12 @@ class Tracer:
                 )
             span = Span(
                 name,
-                self._next_id,
+                next(_span_ids),
                 None,
                 start,
                 end,
                 dict(record.get("attrs") or {}),
             )
-            self._next_id += 1
             by_old_id[old_id] = span
             adopted.append((record, span))
         # Second pass: link after every span exists, so a child record
@@ -244,6 +260,8 @@ class Tracer:
                 span.parent_id = parent.span_id
                 parent.children.append(span)
             else:
+                if self.tags:
+                    span.attrs = {**self.tags, **span.attrs}
                 self.roots.append(span)
         return tops
 

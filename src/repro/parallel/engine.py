@@ -65,7 +65,13 @@ def run_parallel_join(
     backend, fallback = resolve_backend(join.parallel_backend, len(shards))
     join._parallel_fallback_reason = fallback
 
-    tracer = current_tracer()
+    # Prefer the tracer the operator's run() installed over the ambient
+    # global: under the coordinator's thread fanout several joins run
+    # concurrently and the ambient slot is a shared race, while
+    # ``join._run_tracer`` is unambiguous.
+    tracer = getattr(join, "_run_tracer", None)
+    if tracer is None:
+        tracer = current_tracer()
     file_source = _describe_file_source(join, parts_r, parts_s)
     # Only process workers snapshot-and-ship registry deltas: serial and
     # thread workers share the parent's registry, so their increments
@@ -73,7 +79,8 @@ def run_parallel_join(
     collect_metrics = backend.name == "process"
     specs = [
         _build_spec(join, parts_r, parts_s, shard, file_source,
-                    collect_metrics)
+                    collect_metrics, trace=tracer.enabled,
+                    query_id=getattr(join, "query_id", None))
         for shard in shards
     ]
     # The chaos hook (see repro.service.chaos) gets one look at every
@@ -144,7 +151,8 @@ def _describe_file_source(join, parts_r, parts_s) -> FileSource | None:
 
 
 def _build_spec(join, parts_r, parts_s, shard, file_source,
-                collect_metrics=False) -> ShardSpec:
+                collect_metrics=False, trace=False,
+                query_id=None) -> ShardSpec:
     inline_r: dict[int, list[tuple[int, int]]] = {}
     inline_s: dict[int, list[tuple[int, int]]] = {}
     resident = join.resident_partitions
@@ -171,6 +179,7 @@ def _build_spec(join, parts_r, parts_s, shard, file_source,
         fail_after=join._worker_fault_after,
         parent_pid=os.getpid(),
         index=shard.index,
-        trace=current_tracer().enabled,
+        trace=trace,
         collect_metrics=collect_metrics,
+        query_id=query_id,
     )

@@ -93,6 +93,9 @@ class ShardSpec:
     #: thread workers share the parent's registry (their increments land
     #: directly), so shipping a delta too would double-count.
     collect_metrics: bool = False
+    #: the service-level query this shard serves, stamped on the shard
+    #: span so cross-process traces stitch back to one query tree.
+    query_id: int | None = None
 
 
 @dataclass
@@ -184,9 +187,10 @@ def run_shard(spec: ShardSpec) -> ShardResult:
         # default and the worker falls back to real clocks.
         ambient = current_tracer()
         tracer = ambient.child() if isinstance(ambient, Tracer) else Tracer()
-    shard_span = tracer.start(
-        "shard", index=spec.index, partitions=len(spec.partitions)
-    )
+    span_attrs = {"index": spec.index, "partitions": len(spec.partitions)}
+    if spec.query_id is not None:
+        span_attrs["query_id"] = spec.query_id
+    shard_span = tracer.start("shard", **span_attrs)
     try:
         with use_tracer(tracer):
             if spec.chaos_delay > 0:

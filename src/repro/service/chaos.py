@@ -95,6 +95,11 @@ class ChaosInjector:
         self.kills = 0
         self.delays = 0
         self.io_faults = 0
+        #: optional ``callback(kind, shard_index)`` fired when a fault is
+        #: armed (kinds: ``worker_kill``/``shard_delay``/``io_fault``);
+        #: the service routes these into the active query's timeline so a
+        #: postmortem shows which chaos hit which shard.
+        self.on_event = None
 
     def arm(self) -> "ChaosInjector":
         self.armed = True
@@ -118,12 +123,14 @@ class ChaosInjector:
             spec.chaos_kill = True
             self.kills += 1
             self._kill_counter.inc()
+            self._notify("worker_kill", spec)
             return
         roll -= config.worker_kill_rate
         if roll < config.shard_delay_rate:
             spec.chaos_delay = config.delay_seconds
             self.delays += 1
             self._delay_counter.inc()
+            self._notify("shard_delay", spec)
             return
         roll -= config.shard_delay_rate
         if roll < config.io_fault_rate and spec.file_source is not None:
@@ -133,3 +140,8 @@ class ChaosInjector:
             spec.fail_after = config.io_fault_after
             self.io_faults += 1
             self._io_counter.inc()
+            self._notify("io_fault", spec)
+
+    def _notify(self, kind: str, spec) -> None:
+        if self.on_event is not None:
+            self.on_event(kind, getattr(spec, "index", None))

@@ -25,8 +25,17 @@ is the resident process the ROADMAP asks for.  Architecture:
   in the process registry; optional per-query span traces appended to a
   JSONL file; optional per-join drift records feeding the PR-5 closed
   calibration loop (with periodic recalibration under sustained
-  traffic).  The drift history is rotated/compacted on startup
-  (:func:`~repro.obs.drift.rotate_drift_jsonl`).
+  traffic).  Both JSONL histories are rotated/compacted on startup
+  (:func:`~repro.obs.rotation.rotate_jsonl`).  Every query carries a
+  request-scoped :class:`~repro.obs.flight.QueryContext` stitching the
+  admission → attempt → coordinator → shard → worker span tree under
+  one ``query_id``; finished queries land in the
+  :class:`~repro.obs.flight.FlightRecorder` (postmortems on failure or
+  latency-objective breach), outcomes feed the
+  :class:`~repro.obs.slo.SLOTracker` burn-rate gauges, and an optional
+  :class:`~repro.obs.profile.SamplingProfiler` attributes wall time to
+  operator phases — all observation-only, so results stay
+  bit-identical with every layer on or off.
 * **Shutdown** — ``stop()`` (or SIGTERM via
   :meth:`install_signal_handlers`) moves READY → DRAINING (``/readyz``
   flips, new submits are rejected), finishes or rejects the queue, then
@@ -179,6 +188,11 @@ class QueryService:
         recalibrate_every: int | None = None,
         model_store=None,
         trace_path: str | None = None,
+        trace_max_bytes: int = 4 * 1024 * 1024,
+        flight_recorder=None,
+        postmortem_dir: str | None = None,
+        slo=None,
+        profile_hz: float | None = None,
         clock=time.monotonic,
         sleep=time.sleep,
         rng: random.Random | None = None,
@@ -223,6 +237,7 @@ class QueryService:
         self.drift_max_bytes = drift_max_bytes
         self.recalibrate_every = recalibrate_every
         self.trace_path = trace_path
+        self.trace_max_bytes = trace_max_bytes
         self._clock = clock
         self._sleep = sleep
         self._rng = rng if rng is not None else random.Random()
@@ -238,6 +253,40 @@ class QueryService:
             PlanCache(plan_cache_size, registry=self._registry)
             if plan_cache_size else None
         )
+
+        # Request-scoped observability: flight recorder, SLO tracker,
+        # sampling profiler.  All observation-only — none of them feeds
+        # back into execution, so results are bit-identical on or off.
+        from ..obs.flight import FlightRecorder
+        from ..obs.slo import SLOTracker
+
+        if flight_recorder is None and postmortem_dir is not None:
+            flight_recorder = 128
+        if isinstance(flight_recorder, int):
+            self._flight = FlightRecorder(
+                capacity=flight_recorder, postmortem_dir=postmortem_dir,
+                registry=self._registry,
+            )
+        else:
+            self._flight = flight_recorder  # instance or None
+        if slo is not None and not isinstance(slo, SLOTracker):
+            slo = SLOTracker(slo, registry=self._registry)
+        self._slo = slo
+        self._profiler = None
+        if profile_hz is not None:
+            from ..obs.profile import SamplingProfiler
+
+            self._profiler = SamplingProfiler(
+                hz=profile_hz, registry=self._registry,
+            )
+        #: the context of the query the lane is executing right now —
+        #: written only by the lane; breaker/chaos callbacks (which fire
+        #: on the lane thread, inside an attempt) route events here.
+        self._current_context = None
+        self._ladder.set_transition_listener(self._breaker_event)
+        if self.chaos is not None and hasattr(self.chaos, "on_event"):
+            self.chaos.on_event = self._chaos_event
+
         self._state = ServiceState.STARTING
         self._state_lock = threading.Lock()
         self._stopped = threading.Event()
@@ -308,6 +357,14 @@ class QueryService:
                 self.drift_rotation = rotate_drift_jsonl(
                     self.drift_path, max_bytes=self.drift_max_bytes
                 )
+            if self.trace_path is not None:
+                from ..obs.rotation import rotate_jsonl
+
+                self.trace_rotation = rotate_jsonl(
+                    self.trace_path, max_bytes=self.trace_max_bytes
+                )
+            if self._profiler is not None:
+                self._profiler.start()
             self._lane = threading.Thread(
                 target=self._run_lane, name="setjoin-service-lane", daemon=True
             )
@@ -342,6 +399,8 @@ class QueryService:
                 raise ServiceError(
                     f"execution lane still busy after {timeout}s drain"
                 )
+        if self._profiler is not None:
+            self._profiler.stop()
         with self._state_lock:
             if self._owns_db:
                 self.db.close()
@@ -406,6 +465,8 @@ class QueryService:
                 f"admission queue full ({self._queue.depth} queued); "
                 "back off and retry"
             )
+        if query.context is not None:
+            query.context.event("admitted", queue_depth=len(self._queue))
         return ticket
 
     # Synchronous conveniences (the load generator uses submit directly).
@@ -452,26 +513,58 @@ class QueryService:
                     return
                 continue
             self._inflight.set(1)
+            self._current_context = ticket.query.context
+            status = "ok"
+            result = None
+            error: BaseException | None = None
             try:
                 result = self._execute(ticket)
-            except SetJoinError as error:
-                if isinstance(error, DeadlineExceeded):
+            except SetJoinError as err:
+                if isinstance(err, DeadlineExceeded):
                     self._deadline_counter.inc()
-                self._failed.inc()
-                ticket.reject(error)
-            except BaseException as error:  # noqa: BLE001 — lane must survive
-                self._failed.inc()
-                ticket.reject(ServiceError(
+                    status = "deadline_exceeded"
+                else:
+                    status = "error"
+                error = err
+            except BaseException as err:  # noqa: BLE001 — lane must survive
+                status = "internal_error"
+                error = ServiceError(
                     f"internal error executing query "
-                    f"{ticket.query_id}: {error!r}"
-                ))
-            else:
-                self._completed.inc()
-                ticket.resolve(result)
-            finally:
+                    f"{ticket.query_id}: {err!r}"
+                )
+            # Settle observability *before* resolving the ticket, so a
+            # caller woken by result() immediately finds the flight
+            # entry; the finally clause guarantees the ticket settles
+            # even if an observation-only layer misbehaves.
+            try:
+                self._current_context = None
                 ticket.seconds = self._clock() - ticket.query.admitted_at
                 self._latency.observe(max(ticket.seconds, 0.0))
+                self._observe_outcome(ticket, status, error)
+            except BaseException:  # noqa: BLE001 — observation-only
+                pass
+            finally:
+                if status == "ok":
+                    self._completed.inc()
+                    ticket.resolve(result)
+                else:
+                    self._failed.inc()
+                    ticket.reject(error)
                 self._inflight.set(0)
+
+    def _observe_outcome(self, ticket: QueryTicket, status: str,
+                         error: BaseException | None) -> None:
+        """Feed one finished query into the SLO tracker and recorder."""
+        query = ticket.query
+        objective = None
+        if self._slo is not None:
+            self._slo.observe(query.kind, ticket.seconds, ok=status == "ok")
+            objective = self._slo.latency_objective(query.kind)
+        if self._flight is not None and query.context is not None:
+            self._flight.record(
+                query.context, status=status, seconds=ticket.seconds,
+                attempts=ticket.attempts, error=error, objective=objective,
+            )
 
     def _remaining(self, query: Query) -> float | None:
         """Seconds of deadline left; raises when already spent."""
@@ -518,13 +611,17 @@ class QueryService:
 
     def _execute_join(self, ticket: QueryTicket):
         query = ticket.query
+        context = query.context
         params = query.params
         r_name, s_name = params["r"], params["s"]
         algorithm = params.get("algorithm", "auto")
         num_partitions = params.get("num_partitions")
         prediction = None
+        plan = None
+        flight_on = self._flight is not None and context is not None
         if algorithm == "auto" and (
             self.drift_path is not None or self._plan_cache is not None
+            or flight_on
         ):
             # Plan explicitly — through the cache when enabled — so the
             # prediction that drove the choice is in hand for the drift
@@ -535,10 +632,30 @@ class QueryService:
             algorithm, num_partitions = plan.algorithm, plan.k
 
         tracer = None
-        if self.trace_path is not None:
+        if self.trace_path is not None or flight_on:
             from ..obs.trace import Tracer
 
-            tracer = Tracer()
+            # Tagged with the query id so every span — including the
+            # ones workers and shards ship back — stitches to this
+            # query in a mixed-traffic JSONL file.
+            tracer = Tracer(tags={"query_id": query.query_id})
+        if flight_on:
+            if plan is not None:
+                context.plan = {
+                    "algorithm": plan.algorithm,
+                    "k": plan.k,
+                    "predicted_seconds": plan.predicted_seconds,
+                    "explain": plan.explain().splitlines(),
+                }
+            else:
+                # A named algorithm skips the optimizer; the request
+                # itself is the plan of record.
+                context.plan = {
+                    "algorithm": algorithm,
+                    "k": num_partitions,
+                    "requested": True,
+                }
+        baseline = self._registry.snapshot() if flight_on else None
 
         def attempt(backend: str):
             remaining = self._remaining(query)
@@ -549,30 +666,89 @@ class QueryService:
                     else min(shard_timeout, remaining)
                 )
             ticket.attempts += 1
-            return self.db.join(
-                r_name, s_name,
-                algorithm=algorithm,
-                num_partitions=num_partitions,
-                workers=self.workers,
-                backend=backend if self.workers > 1 else "serial",
-                shard_timeout=shard_timeout,
-                shard_hook=self.chaos,
-                tracer=tracer,
-                **{k: v for k, v in params.items()
-                   if k in ("signature_bits", "engine", "seed")},
-            )
+            number = ticket.attempts
+            if context is not None:
+                context.event("attempt", number=number, backend=backend)
+            span = None
+            if tracer is not None:
+                span = tracer.start("attempt", number=number, backend=backend)
+            try:
+                result = self.db.join(
+                    r_name, s_name,
+                    algorithm=algorithm,
+                    num_partitions=num_partitions,
+                    workers=self.workers,
+                    backend=backend if self.workers > 1 else "serial",
+                    shard_timeout=shard_timeout,
+                    shard_hook=self.chaos,
+                    tracer=tracer,
+                    query_id=query.query_id,
+                    **{k: v for k, v in params.items()
+                       if k in ("signature_bits", "engine", "seed")},
+                )
+            except BaseException as error:
+                if span is not None:
+                    span.set(error=type(error).__name__)
+                    tracer.finish(span)
+                if context is not None:
+                    context.event(
+                        "attempt.failed", number=number, backend=backend,
+                        error=type(error).__name__,
+                    )
+                raise
+            if span is not None:
+                tracer.finish(span)
+            if context is not None:
+                context.event("attempt.ok", number=number, backend=backend)
+            return result
 
-        pairs, metrics = run_with_retries(
-            attempt, self.retry_policy, ladder=self._ladder,
-            deadline=query.deadline, clock=self._clock, sleep=self._sleep,
-            rng=self._rng,
-            on_retry=lambda __, ___: self._retries.inc(),
-        )
+        def on_retry(attempt_number: int, error: BaseException) -> None:
+            self._retries.inc()
+            if context is not None:
+                context.event(
+                    "retry", after_attempt=attempt_number,
+                    error=type(error).__name__,
+                )
+
+        root = None
+        if tracer is not None:
+            root = tracer.start("query", kind=query.kind, r=r_name, s=s_name)
+        try:
+            pairs, metrics = run_with_retries(
+                attempt, self.retry_policy, ladder=self._ladder,
+                deadline=query.deadline, clock=self._clock, sleep=self._sleep,
+                rng=self._rng,
+                on_retry=on_retry,
+            )
+        except BaseException as error:
+            if root is not None:
+                root.set(error=type(error).__name__)
+            raise
+        finally:
+            # The trace must survive the failure path — a postmortem
+            # without its span tree is half a postmortem.
+            if tracer is not None:
+                if root is not None:
+                    tracer.finish(root)
+                if flight_on:
+                    context.spans = tracer.export()
+                    context.registry_delta = self._condensed_delta(baseline)
+                if self.trace_path is not None:
+                    self._append_trace(tracer)
         if prediction is not None:
             self._record_drift(prediction, metrics)
-        if tracer is not None:
-            self._append_trace(tracer)
         return pairs, metrics
+
+    def _condensed_delta(self, baseline: dict) -> dict:
+        """Registry movement during one query, condensed to values
+        (counters/gauges) and ``{count, sum}`` pairs (histograms)."""
+        out = {}
+        for name, entry in self._registry.delta(baseline).items():
+            if entry["kind"] == "histogram":
+                out[name] = {"count": entry["count"], "sum": entry["sum"]}
+            else:
+                out[name] = entry["value"]
+        return out
 
     def _plan_for(self, r_name: str, s_name: str):
         """Plan a join, reusing a cached plan when its statistics
@@ -615,6 +791,8 @@ class QueryService:
         record = compute_drift(prediction, metrics)
         record_drift(record, registry=self._registry)
         append_drift_jsonl(record, self.drift_path)
+        if self._current_context is not None:
+            self._current_context.drift = record.to_dict()
         if self.recalibrate_every:
             self._joins_since_recalibration += 1
             if self._joins_since_recalibration >= self.recalibrate_every:
@@ -654,6 +832,42 @@ class QueryService:
                 handle.write(json.dumps(record, sort_keys=True) + "\n")
 
     # ------------------------------------------------------------------
+    # Event routing into the active query's timeline
+    # ------------------------------------------------------------------
+
+    def _breaker_event(self, backend: str, old: str, new: str) -> None:
+        context = self._current_context
+        if context is not None:
+            context.event("breaker", backend=backend, old=old, new=new)
+
+    def _chaos_event(self, kind: str, shard: "int | None") -> None:
+        context = self._current_context
+        if context is not None:
+            context.event("chaos", fault=kind, shard=shard)
+
+    # ------------------------------------------------------------------
+    # Debug surfaces (HTTP GET /debug/*)
+    # ------------------------------------------------------------------
+
+    def debug_queries(self) -> "list[dict] | None":
+        """Flight-recorder ring summaries, or ``None`` when disabled."""
+        if self._flight is None:
+            return None
+        return self._flight.entries()
+
+    def debug_query(self, query_id: int) -> "dict | None":
+        """Full evidence (or postmortem) for one query id."""
+        if self._flight is None:
+            return None
+        return self._flight.get(query_id)
+
+    def profile_report(self, top: int = 15) -> "dict | None":
+        """Sampling-profiler attribution, or ``None`` when disabled."""
+        if self._profiler is None:
+            return None
+        return self._profiler.report(top=top)
+
+    # ------------------------------------------------------------------
 
     def stats(self) -> dict:
         """Service-level snapshot for ``/readyz`` and the CLI."""
@@ -676,5 +890,19 @@ class QueryService:
                 "capacity": self._plan_cache.size,
                 "hits": self._plan_cache.hits.value,
                 "misses": self._plan_cache.misses.value,
+            }
+        if self._flight is not None:
+            snapshot["flight_recorder"] = {
+                "capacity": self._flight.capacity,
+                "recorded": len(self._flight.entries()),
+                "postmortems": len(self._flight.postmortems()),
+            }
+        if self._slo is not None:
+            snapshot["slo"] = self._slo.report()
+        if self._profiler is not None:
+            snapshot["profiler"] = {
+                "hz": self._profiler.hz,
+                "samples": self._profiler.report(top=0)["samples"],
+                "overhead": self._profiler.overhead,
             }
         return snapshot

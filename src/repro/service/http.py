@@ -13,6 +13,13 @@ gate on ``/metrics`` — with the service routes:
   lifecycle state otherwise, which is what flips a load balancer away
   during drain.  ``GET /healthz`` (inherited) stays 200 for the whole
   process lifetime — liveness and readiness are different questions.
+* ``GET /debug/queries`` — flight-recorder ring summaries (newest
+  first); ``GET /debug/query/<id>`` — one query's full evidence
+  (timeline, plan, drift, span tree; the frozen postmortem for failed
+  or objective-breaching queries); ``GET /debug/profile`` — the
+  sampling profiler's phase attribution.  All three are token-gated
+  like ``/metrics`` (query evidence names relations and carries
+  plans) and return 404 when the corresponding layer is disabled.
 
 Typed service errors map onto transport status codes and every error
 body carries the error class name, so a load generator can tally sheds
@@ -61,7 +68,8 @@ class _ServiceHandler(_Handler):
     server_version = "setjoin-service/1.0"
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        if self.path.split("?", 1)[0] == "/readyz":
+        route = self.path.split("?", 1)[0]
+        if route == "/readyz":
             service: QueryService = self.server.service
             stats = service.stats()
             status = 200 if service.ready else 503
@@ -69,8 +77,47 @@ class _ServiceHandler(_Handler):
                 status, "application/json",
                 json.dumps(stats, sort_keys=True).encode(),
             )
+        elif route == "/debug/queries" or route == "/debug/profile" \
+                or route.startswith("/debug/query/"):
+            if not self._authorized():
+                self._reply(401, "application/json",
+                            json.dumps({"error": "unauthorized"}).encode())
+                return
+            try:
+                status, body = self._handle_debug(route)
+            except Exception as error:  # noqa: BLE001 — mapped to codes
+                self._reply_error(error)
+                return
+            self._reply(status, "application/json",
+                        json.dumps(body, sort_keys=True).encode())
         else:
             super().do_GET()
+
+    def _handle_debug(self, route: str) -> "tuple[int, dict | list]":
+        service: QueryService = self.server.service
+        if route == "/debug/queries":
+            entries = service.debug_queries()
+            if entries is None:
+                return 404, {"error": "flight recorder disabled"}
+            return 200, {"queries": entries}
+        if route == "/debug/profile":
+            report = service.profile_report()
+            if report is None:
+                return 404, {"error": "profiler disabled"}
+            return 200, report
+        raw = route[len("/debug/query/"):]
+        try:
+            query_id = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"query id must be an integer, got {raw!r}"
+            ) from None
+        entry = service.debug_query(query_id)
+        if entry is None:
+            if service.debug_queries() is None:
+                return 404, {"error": "flight recorder disabled"}
+            return 404, {"error": f"query {query_id} not recorded"}
+        return 200, entry
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         route = self.path.split("?", 1)[0]
@@ -78,7 +125,8 @@ class _ServiceHandler(_Handler):
             self._reply(404, "application/json", json.dumps(
                 {"error": "not found",
                  "endpoints": ["/join", "/probe", "/readyz", "/healthz",
-                               "/metrics"]}
+                               "/metrics", "/debug/queries",
+                               "/debug/query/<id>", "/debug/profile"]}
             ).encode())
             return
         try:

@@ -35,6 +35,12 @@ class Query:
     (the workload mix the load generator replays); ``params`` carries
     the kind-specific arguments; ``deadline`` is an *absolute* monotonic
     timestamp (``None`` = no deadline).
+
+    ``context`` is the request-scoped :class:`~repro.obs.flight.
+    QueryContext` minted together with the ``query_id``: it rides the
+    query through the retry ladder, coordinator fan-out and workers,
+    accumulating the timeline and evidence the flight recorder
+    snapshots when the query finishes.
     """
 
     kind: str
@@ -42,6 +48,13 @@ class Query:
     deadline: float | None = None
     admitted_at: float = 0.0
     query_id: int = field(default_factory=lambda: next(_query_ids))
+    context: object = None
+
+    def __post_init__(self):
+        if self.context is None:
+            from ..obs.flight import QueryContext
+
+            self.context = QueryContext(self.query_id, self.kind)
 
 
 class QueryTicket:

@@ -106,6 +106,10 @@ class CircuitBreaker:
         self._failures = 0
         self._state = self.CLOSED
         self._opened_at = 0.0
+        #: optional ``callback(backend, old_state, new_state)`` fired on
+        #: every actual state change; the service routes these into the
+        #: active query's flight-recorder timeline.
+        self.on_transition = None
         registry = registry if registry is not None else get_registry()
         self._state_gauge = registry.gauge(
             f"setjoin_service_breaker_{backend}_state",
@@ -123,6 +127,15 @@ class CircuitBreaker:
             {self.CLOSED: 0, self.HALF_OPEN: 1, self.OPEN: 2}[self._state]
         )
 
+    def _transition(self, new_state: str) -> None:
+        """Move to ``new_state``, publishing and notifying on change."""
+        if new_state == self._state:
+            return
+        old_state, self._state = self._state, new_state
+        self._publish()
+        if self.on_transition is not None:
+            self.on_transition(self.backend, old_state, new_state)
+
     @property
     def state(self) -> str:
         self._maybe_half_open()
@@ -133,8 +146,7 @@ class CircuitBreaker:
             self._state == self.OPEN
             and self._clock() - self._opened_at >= self.cooldown
         ):
-            self._state = self.HALF_OPEN
-            self._publish()
+            self._transition(self.HALF_OPEN)
 
     def allows(self) -> bool:
         """Whether a query may use this backend right now."""
@@ -143,25 +155,23 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         self._failures = 0
-        self._state = self.CLOSED
-        self._publish()
+        self._transition(self.CLOSED)
 
     def record_failure(self) -> None:
         self._maybe_half_open()
         self._failures += 1
         if self._state == self.HALF_OPEN:
             # The probe failed: straight back to open, restart cooldown.
-            self._state = self.OPEN
             self._opened_at = self._clock()
             self._trips.inc()
+            self._transition(self.OPEN)
         elif (
             self._state == self.CLOSED
             and self._failures >= self.failure_threshold
         ):
-            self._state = self.OPEN
             self._opened_at = self._clock()
             self._trips.inc()
-        self._publish()
+            self._transition(self.OPEN)
 
 
 class BackendLadder:
@@ -203,6 +213,11 @@ class BackendLadder:
             "Queries executed on a degraded backend because the "
             "preferred backend's circuit was open",
         )
+
+    def set_transition_listener(self, callback) -> None:
+        """Install ``callback(backend, old, new)`` on every breaker."""
+        for breaker in self.breakers.values():
+            breaker.on_transition = callback
 
     def select(self) -> str:
         backend: str | None = self.preferred

@@ -177,3 +177,64 @@ class TestConsoleSummary:
             }])
         for line in console_summary(tracer).splitlines():
             assert line.count("█") <= 24
+
+
+def sharded_records(shard_name="dist.shard", count=4, id_key="shard_id"):
+    """A fan-out root with ``count`` concurrent 2-second shard spans."""
+    records = [{
+        "name": "dist.join", "span_id": 1, "parent_id": None,
+        "start": 0.0, "end": 3.0, "duration": 3.0, "attrs": {},
+    }]
+    for index in range(count):
+        records.append({
+            "name": shard_name, "span_id": 2 + index, "parent_id": 1,
+            "start": 0.5, "end": 2.5, "duration": 2.0,
+            "attrs": {id_key: count - 1 - index},
+        })
+    return records
+
+
+class TestConsoleSummaryShardGrouping:
+    def test_concurrent_shards_grouped_with_max_and_sum(self):
+        text = console_summary(sharded_records(count=4))
+        lines = text.splitlines()
+        group_lines = [line for line in lines if "shards" in line]
+        assert len(group_lines) == 1
+        group = group_lines[0]
+        # Four concurrent 2s shards: wall cost 2s (max), work 8s (sum).
+        assert "count=4" in group
+        assert "max=2000.000ms" in group
+        assert "sum=8000.000ms" in group
+        # The group's own duration is the fan-out envelope, not the sum
+        # — so its share of the 3s root is 2/3, never several hundred %.
+        assert "66.7%" in group
+
+    def test_shard_lines_nest_under_group_in_id_order(self):
+        text = console_summary(sharded_records(count=3))
+        lines = text.splitlines()
+        group_at = next(
+            index for index, line in enumerate(lines) if "shards" in line
+        )
+        shard_lines = lines[group_at + 1:group_at + 4]
+        assert all("dist.shard" in line for line in shard_lines)
+        ids = [line.split("shard_id=")[1][0] for line in shard_lines]
+        assert ids == ["0", "1", "2"]
+
+    def test_worker_shard_spans_grouped_too(self):
+        text = console_summary(
+            sharded_records(shard_name="shard", count=2, id_key="index")
+        )
+        assert "count=2" in text
+        assert "sum=4000.000ms" in text
+
+    def test_single_shard_is_not_grouped(self):
+        text = console_summary(sharded_records(count=1))
+        assert "count=" not in text
+        assert "dist.shard" in text
+
+    def test_grouping_keeps_validation_happy(self):
+        # The synthetic group span exists only in the rendering; the
+        # records themselves stay schema-valid.
+        records = sharded_records(count=4)
+        console_summary(records)
+        validate_trace_records(records)

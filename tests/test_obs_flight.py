@@ -1,0 +1,256 @@
+"""Flight recorder: query contexts, the ring, and postmortems."""
+
+import json
+import os
+
+import pytest
+
+from repro.database import SetJoinDatabase
+from repro.obs.flight import FlightRecorder, QueryContext
+from repro.obs.registry import MetricsRegistry
+from repro.service import ChaosConfig, ChaosInjector, QueryService
+
+
+class FakeWall:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+def make_recorder(**kwargs):
+    kwargs.setdefault("registry", MetricsRegistry())
+    kwargs.setdefault("wall", FakeWall())
+    return FlightRecorder(**kwargs)
+
+
+class TestQueryContext:
+    def test_timeline_events_are_wall_stamped_in_order(self):
+        context = QueryContext(7, "join", wall=FakeWall())
+        context.event("admitted")
+        context.event("attempt", number=1, backend="thread")
+        kinds = [event["event"] for event in context.timeline]
+        assert kinds == ["admitted", "attempt"]
+        stamps = [event["at"] for event in context.timeline]
+        assert stamps == sorted(stamps)
+        assert context.timeline[1]["backend"] == "thread"
+
+    def test_snapshot_is_a_deep_copy(self):
+        context = QueryContext(7, "join", wall=FakeWall())
+        context.event("admitted")
+        context.plan = {"algorithm": "PSJ"}
+        snapshot = context.snapshot()
+        snapshot["timeline"][0]["event"] = "mutated"
+        snapshot["plan"]["algorithm"] = "mutated"
+        assert context.timeline[0]["event"] == "admitted"
+        assert context.plan["algorithm"] == "PSJ"
+
+
+class TestFlightRecorderRing:
+    def test_capacity_bounds_the_ring(self):
+        recorder = make_recorder(capacity=3)
+        for query_id in range(1, 8):
+            context = QueryContext(query_id, "join", wall=FakeWall())
+            recorder.record(context, status="ok", seconds=0.1)
+        entries = recorder.entries()
+        assert [entry["query_id"] for entry in entries] == [7, 6, 5]
+        assert recorder.get(1) is None
+        assert recorder.get(7)["status"] == "ok"
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            make_recorder(capacity=0)
+
+    def test_entries_are_newest_first_summaries(self):
+        recorder = make_recorder()
+        recorder.record(
+            QueryContext(1, "probe", wall=FakeWall()),
+            status="ok", seconds=0.5, attempts=1,
+        )
+        recorder.record(
+            QueryContext(2, "join", wall=FakeWall()),
+            status="error", seconds=1.5, attempts=3,
+        )
+        first, second = recorder.entries()
+        assert first == {
+            "query_id": 2, "kind": "join", "status": "error",
+            "seconds": 1.5, "attempts": 3, "postmortem": True,
+        }
+        assert second["query_id"] == 1
+        assert second["postmortem"] is False
+
+
+class TestPostmortems:
+    def test_failure_statuses_freeze_postmortems(self):
+        recorder = make_recorder()
+        for query_id, status in enumerate(
+            ("deadline_exceeded", "error", "internal_error"), start=1
+        ):
+            recorder.record(
+                QueryContext(query_id, "join", wall=FakeWall()),
+                status=status, seconds=0.1,
+            )
+        assert recorder.postmortems() == [1, 2, 3]
+
+    def test_ok_within_objective_is_not_a_postmortem(self):
+        recorder = make_recorder()
+        recorder.record(
+            QueryContext(1, "join", wall=FakeWall()),
+            status="ok", seconds=0.1, objective=1.0,
+        )
+        assert recorder.postmortems() == []
+
+    def test_slow_ok_query_becomes_a_postmortem(self):
+        recorder = make_recorder()
+        recorder.record(
+            QueryContext(1, "join", wall=FakeWall()),
+            status="ok", seconds=2.0, objective=1.0,
+        )
+        assert recorder.postmortems() == [1]
+        postmortem = recorder.get(1)
+        assert postmortem["postmortem_reason"] == "latency_objective_exceeded"
+        assert postmortem["objective_seconds"] == 1.0
+        assert "environment" in postmortem
+
+    def test_postmortems_survive_ring_eviction(self):
+        recorder = make_recorder(capacity=2)
+        recorder.record(
+            QueryContext(1, "join", wall=FakeWall()),
+            status="error", seconds=0.1,
+            error=RuntimeError("worker died"),
+        )
+        for query_id in range(2, 6):
+            recorder.record(
+                QueryContext(query_id, "join", wall=FakeWall()),
+                status="ok", seconds=0.1,
+            )
+        # Evicted from the ring, still retrievable as a postmortem.
+        assert all(e["query_id"] != 1 for e in recorder.entries())
+        postmortem = recorder.get(1)
+        assert postmortem["error"] == {
+            "type": "RuntimeError", "detail": "worker died",
+        }
+
+    def test_postmortem_dumped_to_disk(self, tmp_path):
+        recorder = make_recorder(postmortem_dir=str(tmp_path / "pm"))
+        recorder.record(
+            QueryContext(9, "join", wall=FakeWall()),
+            status="error", seconds=0.1,
+        )
+        path = tmp_path / "pm" / "postmortem-q9.json"
+        assert path.exists()
+        dumped = json.loads(path.read_text())
+        assert dumped["query_id"] == 9
+        assert dumped["postmortem_reason"] == "error"
+        assert not os.path.exists(str(path) + ".tmp")
+
+
+@pytest.fixture()
+def loaded_db(small_workload):
+    lhs, rhs = small_workload
+    with SetJoinDatabase.open() as db:
+        db.create_relation("r", lhs)
+        db.create_relation("s", rhs)
+        yield db
+
+
+def make_service(db, **kwargs):
+    kwargs.setdefault("registry", MetricsRegistry())
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("backend", "thread")
+    return QueryService(db, **kwargs)
+
+
+class TestServiceIntegration:
+    def test_results_bit_identical_with_recorder_and_profiler_on(
+        self, loaded_db
+    ):
+        with make_service(loaded_db) as plain:
+            expected, expected_metrics = plain.join("r", "s")
+        with make_service(
+            loaded_db, flight_recorder=8,
+            slo={"join": 30.0}, profile_hz=200.0,
+        ) as observed:
+            pairs, metrics = observed.join("r", "s")
+        assert pairs == expected
+        assert (
+            metrics.signature_comparisons
+            == expected_metrics.signature_comparisons
+        )
+        assert (
+            metrics.replicated_signatures
+            == expected_metrics.replicated_signatures
+        )
+
+    def test_join_records_full_evidence(self, loaded_db):
+        with make_service(
+            loaded_db, flight_recorder=8, plan_cache_size=4,
+        ) as service:
+            service.join("r", "s")
+            entries = service.debug_queries()
+            assert entries[0]["kind"] == "join"
+            assert entries[0]["status"] == "ok"
+            detail = service.debug_query(entries[0]["query_id"])
+        events = [event["event"] for event in detail["timeline"]]
+        assert events[:2] == ["admitted", "attempt"]
+        assert "attempt.ok" in events
+        assert detail["plan"]["algorithm"] in ("DCJ", "PSJ", "LSJ", "SHJ")
+        assert any(line for line in detail["plan"]["explain"])
+        span_names = {span["name"] for span in detail["spans"]}
+        assert {"query", "attempt", "join"} <= span_names
+        assert all(
+            span["attrs"].get("query_id") is not None
+            for span in detail["spans"] if span["parent_id"] is None
+        )
+        assert isinstance(detail["registry_delta"], dict)
+
+    def test_failed_query_gets_a_postmortem_with_chaos_timeline(
+        self, loaded_db, tmp_path
+    ):
+        chaos = ChaosInjector(
+            ChaosConfig(worker_kill_rate=1.0), seed=3,
+            registry=MetricsRegistry(),
+        )
+        postmortem_dir = str(tmp_path / "pm")
+        with make_service(
+            loaded_db, chaos=chaos, flight_recorder=8,
+            postmortem_dir=postmortem_dir,
+        ) as service:
+            chaos.arm()
+            with pytest.raises(Exception):
+                service.join("r", "s")
+            chaos.disarm()
+            frozen = service._flight.postmortems()
+            assert len(frozen) == 1
+            postmortem = service.debug_query(frozen[0])
+        assert postmortem["status"] == "error"
+        assert postmortem["attempts"] >= 3
+        events = [event["event"] for event in postmortem["timeline"]]
+        assert "chaos" in events
+        assert "retry" in events
+        assert "attempt.failed" in events
+        chaos_events = [
+            event for event in postmortem["timeline"]
+            if event["event"] == "chaos"
+        ]
+        assert all(
+            event["fault"] == "worker_kill" for event in chaos_events
+        )
+        files = os.listdir(postmortem_dir)
+        assert files == [f"postmortem-q{postmortem['query_id']}.json"]
+
+    def test_untracked_service_has_no_debug_surface(self, loaded_db):
+        with make_service(loaded_db) as service:
+            service.join("r", "s")
+            assert service.debug_queries() is None
+            assert service.debug_query(1) is None
+            assert service.profile_report() is None
+
+    def test_postmortem_dir_implies_recorder(self, loaded_db, tmp_path):
+        with make_service(
+            loaded_db, postmortem_dir=str(tmp_path / "pm"),
+        ) as service:
+            service.join("r", "s")
+            assert service.debug_queries() is not None

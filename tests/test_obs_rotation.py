@@ -1,0 +1,129 @@
+"""Shared JSONL rotation with fingerprint sidecars (repro.obs.rotation)."""
+
+import json
+import os
+
+from repro.obs.drift import rotate_drift_jsonl
+from repro.obs.rotation import environment_fingerprint, rotate_jsonl
+
+
+def write_lines(path, records):
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+class TestEnvironmentFingerprint:
+    def test_has_the_invalidating_dimensions(self):
+        fingerprint = environment_fingerprint()
+        assert set(fingerprint) == {"platform", "machine", "python", "cpus"}
+        assert fingerprint["cpus"] >= 1
+
+    def test_is_stable_within_a_process(self):
+        assert environment_fingerprint() == environment_fingerprint()
+
+
+class TestRotateJsonl:
+    def test_missing_file_writes_only_the_sidecar(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        out = rotate_jsonl(path, wall=lambda: 123.0)
+        assert out == {
+            "archived": False, "rotated": False, "kept": 0, "dropped": 0,
+        }
+        assert not os.path.exists(path)
+        with open(path + ".meta.json") as handle:
+            meta = json.load(handle)
+        assert meta["stamped"] == 123.0
+        assert meta["fingerprint"] == environment_fingerprint()
+
+    def test_small_file_is_untouched(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        write_lines(path, [{"n": i} for i in range(5)])
+        before = open(path).read()
+        out = rotate_jsonl(path, max_bytes=1 << 20)
+        assert out["rotated"] is False
+        assert open(path).read() == before
+
+    def test_oversize_file_keeps_newest(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        write_lines(path, [{"n": i} for i in range(100)])
+        out = rotate_jsonl(path, max_bytes=10, keep=7)
+        assert out["rotated"] is True
+        assert out["kept"] == 7
+        assert out["dropped"] == 93
+        kept = [json.loads(line) for line in open(path)]
+        assert [record["n"] for record in kept] == list(range(93, 100))
+
+    def test_compaction_drops_malformed_lines(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        with open(path, "w") as handle:
+            handle.write(json.dumps({"n": 1}) + "\n")
+            handle.write("not json\n")
+            handle.write(json.dumps([1, 2]) + "\n")  # not an object
+            handle.write(json.dumps({"n": 2}) + "\n")
+        rotate_jsonl(path, max_bytes=1, keep=100)
+        kept = [json.loads(line) for line in open(path)]
+        assert kept == [{"n": 1}, {"n": 2}]
+
+    def test_parse_hook_canonicalizes(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        write_lines(path, [{"n": i} for i in range(3)])
+
+        def parse(line):
+            record = json.loads(line)
+            if record["n"] == 1:
+                raise ValueError("rejected")
+            return {"n": record["n"] * 10}
+
+        rotate_jsonl(path, max_bytes=1, keep=100, parse=parse)
+        kept = [json.loads(line) for line in open(path)]
+        assert kept == [{"n": 0}, {"n": 20}]
+
+    def test_foreign_fingerprint_archives_to_stale(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        write_lines(path, [{"n": 1}])
+        rotate_jsonl(path, fingerprint={"host": "other-machine"})
+        out = rotate_jsonl(path, fingerprint={"host": "this-machine"})
+        assert out["archived"] is True
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".stale")
+        stale = [json.loads(line) for line in open(path + ".stale")]
+        assert stale == [{"n": 1}]
+
+    def test_matching_fingerprint_keeps_history(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        write_lines(path, [{"n": 1}])
+        rotate_jsonl(path, fingerprint={"host": "same"})
+        out = rotate_jsonl(path, fingerprint={"host": "same"})
+        assert out["archived"] is False
+        assert os.path.exists(path)
+
+    def test_unreadable_meta_is_treated_as_absent(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        write_lines(path, [{"n": 1}])
+        with open(path + ".meta.json", "w") as handle:
+            handle.write("garbage")
+        out = rotate_jsonl(path, fingerprint={"host": "a"})
+        assert out["archived"] is False
+        assert os.path.exists(path)
+
+
+class TestDriftDelegation:
+    def test_rotate_drift_jsonl_uses_shared_rotation(self, tmp_path):
+        path = str(tmp_path / "drift.jsonl")
+        record = {
+            "timestamp": 0.0, "algorithm": "PSJ", "k": 8,
+            "r_size": 10, "s_size": 10,
+            "predicted": {}, "observed": {}, "errors": {},
+        }
+        with open(path, "w") as handle:
+            for __ in range(50):
+                handle.write(json.dumps(record) + "\n")
+            handle.write("not a drift record\n")
+        out = rotate_drift_jsonl(path, max_bytes=10, keep=5)
+        assert out["rotated"] is True
+        assert out["kept"] == 5
+        assert os.path.exists(path + ".meta.json")
+        kept = [json.loads(line) for line in open(path)]
+        assert len(kept) == 5
+        assert all(line["algorithm"] == "PSJ" for line in kept)

@@ -1,0 +1,143 @@
+"""SLO tracker: objectives, burn rates, multi-window alerting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import SLObjective, SLOTracker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+def make_tracker(objectives=None, **kwargs):
+    if objectives is None:
+        objectives = {"join": SLObjective("join", latency=1.0,
+                                          error_budget=0.1)}
+    kwargs.setdefault("registry", MetricsRegistry())
+    kwargs.setdefault("clock", FakeClock())
+    return SLOTracker(objectives, **kwargs)
+
+
+class TestConfiguration:
+    def test_rejects_empty_objectives(self):
+        with pytest.raises(ConfigurationError, match="objective"):
+            make_tracker({})
+
+    def test_rejects_bad_latency_and_budget(self):
+        with pytest.raises(ConfigurationError, match="latency"):
+            SLObjective("join", latency=0.0)
+        with pytest.raises(ConfigurationError, match="budget"):
+            SLObjective("join", latency=1.0, error_budget=0.0)
+        with pytest.raises(ConfigurationError, match="budget"):
+            SLObjective("join", latency=1.0, error_budget=1.5)
+
+    def test_plain_float_promoted_to_objective(self):
+        tracker = make_tracker({"probe": 0.25})
+        assert tracker.latency_objective("probe") == 0.25
+        assert tracker.objectives["probe"].error_budget == 0.01
+
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ConfigurationError, match="window"):
+            make_tracker(windows=())
+        with pytest.raises(ConfigurationError, match="window"):
+            make_tracker(windows=(0.0, 60.0))
+
+
+class TestObservations:
+    def test_idle_window_burns_zero_without_dividing(self):
+        tracker = make_tracker()
+        for window in tracker.windows:
+            stats = tracker.window_stats("join", window)
+            assert stats == {"observations": 0, "bad": 0, "burn_rate": 0.0}
+        assert tracker.alerting("join") is False
+
+    def test_good_fast_ok_query(self):
+        tracker = make_tracker()
+        assert tracker.observe("join", seconds=0.5, ok=True) is True
+        stats = tracker.window_stats("join", 60.0)
+        assert stats["observations"] == 1
+        assert stats["burn_rate"] == 0.0
+
+    def test_slow_ok_query_burns_budget(self):
+        tracker = make_tracker()
+        assert tracker.observe("join", seconds=2.0, ok=True) is False
+        # One bad out of one observation over budget 0.1 → burn 10.
+        assert tracker.burn_rate("join", 60.0) == pytest.approx(10.0)
+
+    def test_failed_query_burns_budget(self):
+        tracker = make_tracker()
+        assert tracker.observe("join", seconds=0.1, ok=False) is False
+        assert tracker.burn_rate("join", 60.0) == pytest.approx(10.0)
+
+    def test_untracked_kind_returns_none(self):
+        tracker = make_tracker()
+        assert tracker.observe("create", seconds=0.1, ok=True) is None
+        assert tracker.tracks("create") is False
+
+    def test_old_observations_age_out_of_the_window(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock=clock, windows=(10.0, 100.0))
+        tracker.observe("join", seconds=5.0, ok=True)  # bad
+        clock.advance(50.0)
+        tracker.observe("join", seconds=0.1, ok=True)  # good
+        short = tracker.window_stats("join", 10.0)
+        long = tracker.window_stats("join", 100.0)
+        assert short == {"observations": 1, "bad": 0, "burn_rate": 0.0}
+        assert long["observations"] == 2
+        assert long["bad"] == 1
+
+
+class TestAlerting:
+    def test_alert_requires_every_window_burning(self):
+        clock = FakeClock()
+        tracker = make_tracker(clock=clock, windows=(10.0, 100.0),
+                               alert_burn_rate=1.0)
+        # A burst of failures inside the short window: both windows see
+        # them, both burn > 1 → alert.
+        for __ in range(5):
+            tracker.observe("join", seconds=0.1, ok=False)
+        assert tracker.alerting("join") is True
+        # Sixty seconds of quiet: the short window empties, so the
+        # multi-window rule stands down even though the long window
+        # still remembers the burst.
+        clock.advance(60.0)
+        assert tracker.alerting("join") is False
+
+    def test_alert_gauge_published(self):
+        registry = MetricsRegistry()
+        tracker = make_tracker(registry=registry)
+        for __ in range(3):
+            tracker.observe("join", seconds=5.0, ok=True)
+        assert registry.get("setjoin_slo_join_alert").value == 1.0
+        assert registry.get(
+            "setjoin_slo_join_burn_rate_60s"
+        ).value == pytest.approx(10.0)
+        assert registry.get("setjoin_slo_join_observations_60s").value == 3
+        assert registry.get("setjoin_slo_join_breaches_total").value == 3
+
+    def test_report_shape(self):
+        tracker = make_tracker()
+        tracker.observe("join", seconds=0.5, ok=True)
+        report = tracker.report()
+        assert report["join"]["latency_objective"] == 1.0
+        assert report["join"]["alerting"] is False
+        assert report["join"]["windows"]["60s"]["observations"] == 1
+
+
+class TestHistogramObservations:
+    def test_histogram_exposes_observation_count(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", "test", buckets=(1.0, 2.0))
+        assert histogram.observations == 0
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        assert histogram.observations == 2

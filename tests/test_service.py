@@ -383,3 +383,127 @@ class TestHTTPFrontEnd:
             body = response.read().decode()
         assert "setjoin_service_completed_total" in body
         assert "setjoin_service_queue_depth" in body
+
+
+class TestHTTPDebugEndpoints:
+    @pytest.fixture()
+    def served(self, loaded_db):
+        registry = MetricsRegistry()
+        service = make_service(
+            loaded_db, registry=registry, flight_recorder=8,
+            profile_hz=200.0,
+        ).start()
+        server = ServiceServer(service, port=0, registry=registry).start()
+        yield service, server
+        server.stop()
+        if service.state != ServiceState.STOPPED:
+            service.stop()
+
+    def get(self, url):
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            return response.status, json.loads(response.read())
+
+    def post_join(self, server, r="r", s="s"):
+        request = urllib.request.Request(
+            server.url + "/join",
+            data=json.dumps({"r": r, "s": s}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            return response.status, json.loads(response.read())
+
+    def test_debug_queries_lists_recent(self, served):
+        __, server = served
+        self.post_join(server)
+        status, body = self.get(server.url + "/debug/queries")
+        assert status == 200
+        entry = body["queries"][0]
+        assert entry["kind"] == "join"
+        assert entry["status"] == "ok"
+        assert entry["postmortem"] is False
+
+    def test_debug_query_returns_full_evidence(self, served):
+        __, server = served
+        self.post_join(server)
+        __, listing = self.get(server.url + "/debug/queries")
+        query_id = listing["queries"][0]["query_id"]
+        status, entry = self.get(server.url + f"/debug/query/{query_id}")
+        assert status == 200
+        assert entry["query_id"] == query_id
+        assert entry["plan"]["algorithm"]
+        assert [e["event"] for e in entry["timeline"]].count("attempt") >= 1
+        assert any(span["name"] == "query" for span in entry["spans"])
+
+    def test_failed_query_postmortem_over_http(self, served):
+        __, server = served
+        with pytest.raises(urllib.error.HTTPError):
+            self.post_join(server, r="ghost")
+        __, listing = self.get(server.url + "/debug/queries")
+        entry = listing["queries"][0]
+        assert entry["status"] != "ok"
+        assert entry["postmortem"] is True
+        __, postmortem = self.get(
+            server.url + f"/debug/query/{entry['query_id']}"
+        )
+        assert postmortem["postmortem_reason"] == entry["status"]
+        assert postmortem["error"]["type"]
+        assert postmortem["environment"]["platform"]
+
+    def test_debug_profile_reports_attribution(self, served):
+        __, server = served
+        self.post_join(server)
+        status, report = self.get(server.url + "/debug/profile")
+        assert status == 200
+        assert report["hz"] == 200.0
+        assert report["samples"] >= 0
+        assert "phases" in report and "overhead" in report
+
+    def test_disabled_layers_are_404(self, loaded_db):
+        registry = MetricsRegistry()
+        service = make_service(loaded_db, registry=registry).start()
+        server = ServiceServer(service, port=0, registry=registry).start()
+        try:
+            for route in ("/debug/queries", "/debug/query/1",
+                          "/debug/profile"):
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    self.get(server.url + route)
+                assert excinfo.value.code == 404
+        finally:
+            server.stop()
+            service.stop()
+
+    def test_bad_query_id_is_400(self, served):
+        __, server = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.get(server.url + "/debug/query/nope")
+        assert excinfo.value.code == 400
+
+    def test_unrecorded_query_id_is_404(self, served):
+        __, server = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.get(server.url + "/debug/query/999999")
+        assert excinfo.value.code == 404
+        assert json.loads(excinfo.value.read())["error"] == \
+            "query 999999 not recorded"
+
+    def test_debug_routes_honor_bearer_token(self, loaded_db):
+        registry = MetricsRegistry()
+        service = make_service(
+            loaded_db, registry=registry, flight_recorder=8,
+        ).start()
+        server = ServiceServer(
+            service, port=0, registry=registry, token="hunter2",
+        ).start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self.get(server.url + "/debug/queries")
+            assert excinfo.value.code == 401
+            request = urllib.request.Request(
+                server.url + "/debug/queries",
+                headers={"Authorization": "Bearer hunter2"},
+            )
+            with urllib.request.urlopen(request, timeout=10.0) as response:
+                assert response.status == 200
+        finally:
+            server.stop()
+            service.stop()

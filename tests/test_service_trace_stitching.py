@@ -1,0 +1,216 @@
+"""End-to-end trace stitching: one tree per query across processes.
+
+The PR-8 acceptance bar: a query admitted by the service, retried after
+a chaos worker kill, fanned out across shards, and executed by process
+workers must leave exactly one stitched span tree — admission root,
+attempt spans as siblings (the killed attempt carries its error), the
+coordinator fan-out, per-shard joins, and the workers' own spans — all
+tagged with the service ``query_id``.
+"""
+
+import pytest
+
+from repro.database import SetJoinDatabase
+from repro.obs.export import read_trace_jsonl, validate_trace_records
+from repro.obs.registry import MetricsRegistry
+from repro.parallel.executor import ProcessBackend
+from repro.service import QueryService
+
+
+class KillOnce:
+    """Shard hook that kills exactly one worker, then behaves."""
+
+    def __init__(self):
+        self.killed = False
+        self.on_event = None
+
+    def __call__(self, spec):
+        if not self.killed:
+            self.killed = True
+            spec.chaos_kill = True
+            if self.on_event is not None:
+                self.on_event("worker_kill", getattr(spec, "index", None))
+
+
+def trees_by_root(records):
+    """Group flat records into ``{root_record: [records...]}`` trees."""
+    by_id = {record["span_id"]: record for record in records}
+
+    def root_of(record):
+        while record["parent_id"] is not None:
+            record = by_id[record["parent_id"]]
+        return record
+
+    trees = {}
+    for record in records:
+        root = root_of(record)
+        trees.setdefault(root["span_id"], (root, []))[1].append(record)
+    return list(trees.values())
+
+
+def spans_named(records, name):
+    return [record for record in records if record["name"] == name]
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    return str(tmp_path / "trace.jsonl")
+
+
+def service_kwargs(**overrides):
+    kwargs = {"workers": 2, "backend": "thread",
+              "registry": MetricsRegistry(), "flight_recorder": 16}
+    kwargs.update(overrides)
+    return kwargs
+
+
+class TestSingleDatabaseStitching:
+    def test_each_query_yields_exactly_one_tree(self, small_workload,
+                                                trace_path):
+        lhs, rhs = small_workload
+        with SetJoinDatabase.open() as db:
+            db.create_relation("r", lhs)
+            db.create_relation("s", rhs)
+            with QueryService(
+                db, trace_path=trace_path, **service_kwargs()
+            ) as service:
+                service.join("r", "s")
+                service.join("r", "s")
+        records = read_trace_jsonl(trace_path)
+        validate_trace_records(records)
+        trees = trees_by_root(records)
+        assert len(trees) == 2
+        query_ids = set()
+        for root, members in trees:
+            assert root["name"] == "query"
+            assert root["attrs"]["kind"] == "join"
+            query_ids.add(root["attrs"]["query_id"])
+            names = {record["name"] for record in members}
+            assert {"query", "attempt", "join", "phase.partition",
+                    "phase.join"} <= names
+        assert len(query_ids) == 2
+
+    def test_flight_recorder_sees_the_same_tree(self, small_workload):
+        lhs, rhs = small_workload
+        with SetJoinDatabase.open() as db:
+            db.create_relation("r", lhs)
+            db.create_relation("s", rhs)
+            with QueryService(db, **service_kwargs()) as service:
+                service.join("r", "s")
+                entry = service.debug_queries()[0]
+                detail = service.debug_query(entry["query_id"])
+        validate_trace_records(detail["spans"])
+        trees = trees_by_root(detail["spans"])
+        assert len(trees) == 1
+        root, __ = trees[0]
+        assert root["attrs"]["query_id"] == detail["query_id"]
+
+
+@pytest.mark.skipif(not ProcessBackend(2).available(),
+                    reason="process backend unavailable in this sandbox")
+class TestProcessBackendStitching:
+    def test_worker_spans_ship_across_the_process_boundary(
+        self, tmp_path, small_workload, trace_path
+    ):
+        lhs, rhs = small_workload
+        path = str(tmp_path / "single.db")
+        with SetJoinDatabase.open(path) as db:
+            db.create_relation("r", lhs)
+            db.create_relation("s", rhs)
+        with QueryService(
+            path, trace_path=trace_path,
+            **service_kwargs(backend="process"),
+        ) as service:
+            pairs, __ = service.join("r", "s")
+        assert pairs
+        records = read_trace_jsonl(trace_path)
+        validate_trace_records(records)
+        (root, members), = trees_by_root(records)
+        shards = spans_named(members, "shard")
+        assert len(shards) >= 2  # one span per process worker shard
+        assert all(
+            span["attrs"]["query_id"] == root["attrs"]["query_id"]
+            for span in shards
+        )
+
+    def test_killed_attempt_is_a_sibling_span_in_the_same_tree(
+        self, tmp_path, small_workload, trace_path
+    ):
+        lhs, rhs = small_workload
+        path = str(tmp_path / "killed.db")
+        with SetJoinDatabase.open(path) as db:
+            db.create_relation("r", lhs)
+            db.create_relation("s", rhs)
+            expected, __ = db.join("r", "s")
+        chaos = KillOnce()
+        with QueryService(
+            path, trace_path=trace_path,
+            **service_kwargs(backend="process", chaos=chaos),
+        ) as service:
+            pairs, __ = service.join("r", "s")
+            detail = service.debug_query(service.debug_queries()
+                                         [0]["query_id"])
+        assert pairs == expected  # retried run is bit-identical
+        assert chaos.killed
+        records = read_trace_jsonl(trace_path)
+        validate_trace_records(records)
+        (root, members), = trees_by_root(records)
+        attempts = spans_named(members, "attempt")
+        assert len(attempts) == 2
+        assert all(
+            span["parent_id"] == root["span_id"] for span in attempts
+        )
+        by_number = {span["attrs"]["number"]: span for span in attempts}
+        assert by_number[1]["attrs"]["error"] == "ParallelExecutionError"
+        assert "error" not in by_number[2]["attrs"]
+        # The chaos event and the retry are on the recorder timeline.
+        events = [event["event"] for event in detail["timeline"]]
+        assert "chaos" in events
+        assert "retry" in events
+        assert detail["status"] == "ok"
+        assert detail["attempts"] == 2
+
+
+@pytest.mark.skipif(not ProcessBackend(2).available(),
+                    reason="process backend unavailable in this sandbox")
+class TestShardedStitching:
+    def test_chaos_kill_across_shards_stitches_one_tree(
+        self, small_workload, trace_path
+    ):
+        lhs, rhs = small_workload
+        chaos = KillOnce()
+        with QueryService(
+            None, shards=2, trace_path=trace_path,
+            **service_kwargs(backend="process", chaos=chaos),
+        ) as service:
+            service.create_relation("r", lhs)
+            service.create_relation("s", rhs)
+            pairs, __ = service.join("r", "s")
+            query_id = service.debug_queries()[0]["query_id"]
+            detail = service.debug_query(query_id)
+        assert pairs
+        assert chaos.killed
+        records = read_trace_jsonl(trace_path)
+        validate_trace_records(records)
+        (root, members), = trees_by_root(records)
+        assert root["name"] == "query"
+        assert root["attrs"]["query_id"] == query_id
+
+        # Admission → attempts → coordinator → shard → worker, one tree.
+        attempts = spans_named(members, "attempt")
+        assert len(attempts) == 2
+        dist_joins = spans_named(members, "dist.join")
+        assert dist_joins  # the coordinator fan-out span
+        shard_spans = spans_named(members, "dist.shard")
+        shard_ids = {span["attrs"]["shard_id"] for span in shard_spans}
+        assert shard_ids == {0, 1}
+        assert all(
+            span["attrs"]["query_id"] == query_id for span in shard_spans
+        )
+        worker_spans = spans_named(members, "shard")
+        assert worker_spans  # process workers inside each shard
+        assert all(
+            span["attrs"]["query_id"] == query_id for span in worker_spans
+        )
+        assert detail["attempts"] == 2
+        assert detail["status"] == "ok"
