@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments scorecard paper-scale examples clean
+.PHONY: install test bench experiments scorecard paper-scale examples \
+	profile-baseline clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -15,6 +16,16 @@ bench:
 	$(PYTHON) benchmarks/baseline.py --out BENCH_joins.json \
 		--check benchmarks/BENCH_seed.json --counters-only \
 		--history BENCH_history.jsonl
+
+# Regenerate the checked-in sampling-profiler baseline from the
+# canonical bench suite.  Refresh it (and eyeball the diff) whenever a
+# change is expected to move the hot-path ranking — new phases, engine
+# rewrites, storage-layer changes — so later "did the profile shift?"
+# comparisons start from the current code, not an ancestor's.
+profile-baseline:
+	mkdir -p results
+	$(PYTHON) benchmarks/baseline.py --out results/profile_run.json \
+		--profile results/profile_baseline.txt
 
 experiments:
 	$(PYTHON) -m repro.experiments --all --out results/

@@ -8,7 +8,11 @@ Commands:
 * ``experiment`` -- regenerate one of the paper's figures/tables
 * ``serve``      -- expose process metrics over HTTP (Prometheus format),
                     or with ``--service DB`` the long-lived query service
-                    (admission control, deadlines, retries, /join + /probe)
+                    (admission control, deadlines, retries, /join + /probe;
+                    ``--capture JSONL`` records every query for replay)
+* ``workload``   -- aggregate a capture file into the heavy-hitter report
+* ``replay``     -- re-execute a capture against a database and diff
+                    answers and deterministic resources per query
 * ``demo``       -- the Section 2 worked example, end to end
 
 Set files are plain text: one set per line, whitespace-separated
@@ -362,16 +366,23 @@ def _cmd_serve_service(arguments) -> int:
         postmortem_dir=arguments.postmortems,
         slo=slo or None,
         profile_hz=arguments.profile_hz,
+        capture_path=arguments.capture,
     )
     service.start()
     service.install_signal_handlers()
     server = ServiceServer(service, arguments.host, arguments.port,
                            token=arguments.token).start()
+    capture_note = (
+        f"; capturing workload to {arguments.capture}"
+        if arguments.capture else ""
+    )
     print(f"query service on {server.url} — POST /join, POST /probe, "
           f"GET /readyz, /healthz, /metrics, /debug/queries, "
-          f"/debug/query/<id>, /debug/profile "
+          f"/debug/query/<id>, /debug/profile, /debug/workload, "
+          f"/debug/slo "
           f"(workers={arguments.workers}, backend={arguments.backend}, "
-          f"queue={arguments.queue_depth}; SIGTERM or Ctrl-C drains)",
+          f"queue={arguments.queue_depth}{capture_note}; "
+          f"SIGTERM or Ctrl-C drains)",
           file=sys.stderr)
     try:
         # Blocks until a SIGTERM/SIGINT-triggered drain completes.
@@ -499,6 +510,92 @@ def _run_db_action(db, arguments) -> int:
         return 0
     print(f"unknown db action {arguments.action!r}", file=sys.stderr)
     return 2
+
+
+def _cmd_workload(arguments) -> int:
+    """Offline heavy-hitter report: ``setjoins workload CAPTURE``."""
+    import json
+
+    from .obs.ledger import WorkloadLedger
+    from .service.capture import read_capture
+
+    records = read_capture(arguments.capture)
+    ledger = WorkloadLedger()
+    for record in records:
+        ledger.attribute_record(record.to_dict())
+    if arguments.json:
+        print(json.dumps(ledger.report(top=arguments.top),
+                         sort_keys=True, indent=2))
+        return 0
+    totals = ledger.totals()
+    print(f"{totals['queries']} queries across {ledger.fingerprints} "
+          f"workload shapes ({totals['wall_seconds']:.3f}s wall, "
+          f"{totals['cpu_seconds']:.3f}s cpu, "
+          f"{totals['pages_read'] + totals['pages_written']} pages, "
+          f"{totals['signature_comparisons']} signature comparisons)")
+    for by in ("wall", "pages", "comparisons"):
+        print(f"top by {by}:")
+        for group in ledger.top(arguments.top, by=by):
+            resources = group["resources"]
+            pages = resources["pages_read"] + resources["pages_written"]
+            print(f"  {group['fingerprint']}  {group['queries']:>5}q  "
+                  f"{group['wall_seconds']:8.3f}s  pages={pages}  "
+                  f"x={resources['signature_comparisons']}  "
+                  f"{group['label']}")
+    return 0
+
+
+def _cmd_replay(arguments) -> int:
+    """Deterministic re-execution: ``setjoins replay CAPTURE DB``."""
+    import json
+    import os
+
+    from .database import SetJoinDatabase
+    from .service.capture import read_capture, replay_capture
+
+    records = read_capture(arguments.capture)
+    sharded = (
+        arguments.shards is not None
+        or os.path.exists(arguments.database + ".shards.json")
+    )
+    opener = (
+        SetJoinDatabase.open_sharded(
+            arguments.database, shards=arguments.shards
+        )
+        if sharded else SetJoinDatabase.open(arguments.database)
+    )
+    with opener as db:
+        report = replay_capture(
+            records, db,
+            workers=arguments.workers, backend=arguments.backend,
+        )
+    if arguments.json:
+        print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
+    else:
+        skipped = sum(report.skipped.values())
+        print(f"replayed {report.replayed}/{report.total} records "
+              f"({report.matched} matched, {skipped} skipped)")
+        for reason, count in sorted(report.skipped.items()):
+            print(f"  skipped {count}: {reason}")
+        for entry in report.digest_mismatches:
+            print(f"  DIGEST MISMATCH query {entry['query_id']} "
+                  f"({entry['kind']}): recorded {entry['recorded']} "
+                  f"replayed {entry['replayed']}")
+        for entry in report.ledger_mismatches:
+            print(f"  LEDGER MISMATCH query {entry['query_id']}: "
+                  f"{entry['resource']} recorded={entry['recorded']} "
+                  f"replayed={entry['replayed']}")
+        drift = ", ".join(
+            f"{name}{value:+d}"
+            for name, value in sorted(report.resource_drift.items())
+            if value
+        )
+        if drift:
+            print(f"  physical drift (informational): {drift}")
+        if report.clean:
+            print("replay clean: every digest and deterministic resource "
+                  "matched its recording")
+    return 0 if report.clean else 1
 
 
 def _cmd_stats(arguments) -> int:
@@ -773,7 +870,46 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace", metavar="JSONL", default=None,
                        help="append per-query span traces to this JSONL "
                        "file")
+    serve.add_argument("--capture", metavar="JSONL", default=None,
+                       help="with --service: append one fingerprinted "
+                       "workload record per finished query (resolved "
+                       "plan, resource ledger, answer digest) to this "
+                       "JSONL file for 'setjoins replay'; rotated on "
+                       "startup")
     serve.set_defaults(handler=_cmd_serve)
+
+    workload = commands.add_parser(
+        "workload",
+        help="aggregate a workload capture into the heavy-hitter report",
+    )
+    workload.add_argument("capture", help="capture JSONL from serve --capture")
+    workload.add_argument("--top", type=int, default=5,
+                          help="fingerprints per ordering (default 5)")
+    workload.add_argument("--json", action="store_true",
+                          help="emit the full report as JSON")
+    workload.set_defaults(handler=_cmd_workload)
+
+    replay = commands.add_parser(
+        "replay",
+        help="re-execute a workload capture against a database and diff "
+        "answers and deterministic resources per query",
+    )
+    replay.add_argument("capture", help="capture JSONL from serve --capture")
+    replay.add_argument("database", help="database file path")
+    replay.add_argument(
+        "--shards", type=int, default=None,
+        help="open the database as N shards behind the dist coordinator; "
+        "an existing FILE.shards.json layout is detected automatically",
+    )
+    replay.add_argument("--workers", type=int, default=1,
+                        help="parallel workers per replayed join "
+                        "(default 1; answers must match regardless)")
+    replay.add_argument("--backend", default="serial",
+                        choices=("serial", "thread", "process"),
+                        help="execution backend when --workers > 1")
+    replay.add_argument("--json", action="store_true",
+                        help="emit the replay report as JSON")
+    replay.set_defaults(handler=_cmd_replay)
 
     stats = commands.add_parser("stats", help="summarize set files")
     stats.add_argument("files", nargs="+", help="one or two set files")

@@ -30,6 +30,12 @@ cross-cutting layer the rest of the system reports through:
   correction factors back into the optimizer.
 * :mod:`.serve` — a stdlib HTTP endpoint (``/metrics``, ``/healthz``)
   serving the registry in Prometheus text format.
+* :mod:`.ledger` — per-query resource attribution: lane-window registry
+  deltas become :class:`~repro.obs.ledger.QueryLedger` bills, stable
+  :func:`~repro.obs.ledger.query_fingerprint` keys collapse a mixed
+  workload into its recurring shapes, and the
+  :class:`~repro.obs.ledger.WorkloadLedger` aggregates heavy hitters
+  and reconciles attributed totals against the global registry exactly.
 
 Tracing is opt-in and free when off: the ambient tracer defaults to
 :data:`~repro.obs.trace.NULL_TRACER`, whose spans are shared no-op
@@ -73,6 +79,12 @@ _LAZY = {
     "samples_from_history": "adaptive",
     "drift_corrections": "adaptive",
     "publish_model": "adaptive",
+    "RESOURCE_COUNTERS": "ledger",
+    "Fingerprint": "ledger",
+    "QueryLedger": "ledger",
+    "WorkloadLedger": "ledger",
+    "normalize_workload_name": "ledger",
+    "query_fingerprint": "ledger",
 }
 
 __all__ = [

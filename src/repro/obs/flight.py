@@ -53,7 +53,8 @@ class QueryContext:
 
     __slots__ = (
         "query_id", "kind", "created_at", "timeline",
-        "plan", "drift", "registry_delta", "spans", "_wall",
+        "plan", "drift", "registry_delta", "spans",
+        "ledger", "fingerprint", "_wall",
     )
 
     def __init__(self, query_id: int, kind: str, wall=None):
@@ -66,6 +67,11 @@ class QueryContext:
         self.drift: dict | None = None
         self.registry_delta: dict | None = None
         self.spans: list[dict] = []
+        #: the query's resource bill (plain dict from
+        #: :meth:`repro.obs.ledger.QueryLedger.to_dict`) and its workload
+        #: fingerprint key, attached by the service's ledger settle.
+        self.ledger: dict | None = None
+        self.fingerprint: str | None = None
 
     def event(self, kind: str, **fields) -> dict:
         """Append one wall-stamped event to the timeline."""
@@ -88,6 +94,8 @@ class QueryContext:
                 if self.registry_delta is not None else None
             ),
             "spans": [dict(span) for span in self.spans],
+            "ledger": dict(self.ledger) if self.ledger is not None else None,
+            "fingerprint": self.fingerprint,
         }
 
 
@@ -98,16 +106,30 @@ class FlightRecorder:
     is therefore O(capacity × per-query evidence) regardless of uptime.
     ``postmortem_dir`` additionally dumps each postmortem as
     ``postmortem-q<id>.json`` (self-contained: includes the environment
-    fingerprint).  Reads come from HTTP handler threads while writes
-    come from the execution lane, hence the lock.
+    fingerprint).  The dump directory is budgeted like a rotated JSONL
+    history: when the live dumps exceed ``postmortem_max_files`` or
+    ``postmortem_max_bytes``, the oldest (lowest query id) are archived
+    to ``<name>.stale`` first, and the stale pool itself is bounded by
+    deleting its oldest members — so a failure storm cannot grow the
+    directory without limit.  Reads come from HTTP handler threads
+    while writes come from the execution lane, hence the lock.
     """
 
     def __init__(self, capacity: int = 128, postmortem_dir: str | None = None,
-                 registry=None, wall=None):
+                 registry=None, wall=None,
+                 postmortem_max_files: int = 64,
+                 postmortem_max_bytes: int = 16 * 1024 * 1024):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
+        if postmortem_max_files <= 0:
+            raise ValueError(
+                f"postmortem_max_files must be positive, "
+                f"got {postmortem_max_files}"
+            )
         self.capacity = capacity
         self.postmortem_dir = postmortem_dir
+        self.postmortem_max_files = postmortem_max_files
+        self.postmortem_max_bytes = postmortem_max_bytes
         self._wall = wall if wall is not None else time.time
         self._lock = threading.Lock()
         self._entries: "OrderedDict[int, dict]" = OrderedDict()
@@ -182,6 +204,57 @@ class FlightRecorder:
         with open(tmp, "w") as handle:
             json.dump(postmortem, handle, sort_keys=True, indent=2)
         os.replace(tmp, path)
+        self._enforce_dump_budget()
+
+    @staticmethod
+    def _dump_query_id(name: str) -> int:
+        try:
+            return int(name[len("postmortem-q"):].split(".", 1)[0])
+        except ValueError:
+            return -1
+
+    def _enforce_dump_budget(self) -> None:
+        """Archive oldest-first until the dump directory fits its caps.
+
+        Mirrors ``rotate_jsonl`` semantics: evicted-but-recent history
+        moves aside (``.stale``) rather than vanishing, and the stale
+        pool is itself bounded so the directory has a hard ceiling of
+        ``2 × postmortem_max_files`` files.
+        """
+        live = []
+        stale = []
+        for name in os.listdir(self.postmortem_dir):
+            if not name.startswith("postmortem-q"):
+                continue
+            if name.endswith(".json"):
+                live.append(name)
+            elif name.endswith(".json.stale"):
+                stale.append(name)
+        live.sort(key=self._dump_query_id)
+        sizes = {}
+        for name in live:
+            try:
+                sizes[name] = os.path.getsize(
+                    os.path.join(self.postmortem_dir, name)
+                )
+            except OSError:
+                sizes[name] = 0
+        total = sum(sizes.values())
+        while live and (
+            len(live) > self.postmortem_max_files
+            or total > self.postmortem_max_bytes
+        ):
+            oldest = live.pop(0)
+            path = os.path.join(self.postmortem_dir, oldest)
+            total -= sizes[oldest]
+            os.replace(path, path + ".stale")
+            stale.append(oldest + ".stale")
+        stale.sort(key=self._dump_query_id)
+        while len(stale) > self.postmortem_max_files:
+            try:
+                os.remove(os.path.join(self.postmortem_dir, stale.pop(0)))
+            except OSError:
+                pass
 
     def entries(self) -> "list[dict]":
         """Newest-first one-line summaries for ``GET /debug/queries``."""

@@ -263,6 +263,10 @@ def run_shard(spec: ShardSpec) -> ShardResult:
         "setjoin_worker_comparisons_total",
         "Signature comparisons performed inside join workers",
     ).inc(result.signature_comparisons)
+    registry.counter(
+        "setjoin_worker_seconds_total",
+        "Wall-clock seconds spent inside join workers",
+    ).inc(result.seconds)
     if baseline is not None:
         result.registry_delta = registry.delta(baseline)
     shard_span.set(

@@ -14,11 +14,22 @@ it a resident, failure-tolerant process:
 * :mod:`.chaos` — seeded fault injection at the shard hook (worker
   kills, stragglers, I/O faults);
 * :mod:`.loadgen` — a paced mixed-workload harness that checks every
-  answer against a pre-chaos oracle.
+  answer against a pre-chaos oracle;
+* :mod:`.capture` — workload capture (fingerprinted per-query records
+  with resolved plans, resource ledgers, and answer digests) and
+  deterministic replay (``repro replay``).
 
 See ``docs/service.md`` for the operational model.
 """
 
+from .capture import (
+    ReplayReport,
+    WorkloadCapture,
+    WorkloadRecord,
+    answer_digest,
+    read_capture,
+    replay_capture,
+)
 from .chaos import ChaosConfig, ChaosInjector
 from .core import QueryService, ServiceState
 from .http import ServiceServer
@@ -49,4 +60,10 @@ __all__ = [
     "LoadGenerator",
     "LoadReport",
     "WorkloadMix",
+    "WorkloadCapture",
+    "WorkloadRecord",
+    "ReplayReport",
+    "answer_digest",
+    "read_capture",
+    "replay_capture",
 ]

@@ -35,7 +35,12 @@ is the resident process the ROADMAP asks for.  Architecture:
   :class:`~repro.obs.slo.SLOTracker` burn-rate gauges, and an optional
   :class:`~repro.obs.profile.SamplingProfiler` attributes wall time to
   operator phases — all observation-only, so results stay
-  bit-identical with every layer on or off.
+  bit-identical with every layer on or off.  The workload ledger
+  (:mod:`repro.obs.ledger`) bills each query its exact registry
+  movement over the lane window (``GET /debug/workload``), and
+  ``capture_path`` appends every finished query — fingerprint, ledger,
+  answer digest — to a rotated JSONL file that ``repro replay``
+  re-executes deterministically (:mod:`repro.service.capture`).
 * **Shutdown** — ``stop()`` (or SIGTERM via
   :meth:`install_signal_handlers`) moves READY → DRAINING (``/readyz``
   flips, new submits are rejected), finishes or rejects the queue, then
@@ -193,9 +198,13 @@ class QueryService:
         postmortem_dir: str | None = None,
         slo=None,
         profile_hz: float | None = None,
+        ledger: bool = True,
+        capture_path: str | None = None,
+        capture_max_bytes: int = 16 * 1024 * 1024,
         clock=time.monotonic,
         sleep=time.sleep,
         rng: random.Random | None = None,
+        cpu_clock=time.process_time,
         registry=None,
     ):
         from ..obs.registry import get_registry
@@ -279,6 +288,21 @@ class QueryService:
             self._profiler = SamplingProfiler(
                 hz=profile_hz, registry=self._registry,
             )
+
+        # Workload ledger + capture: per-query resource attribution by
+        # lane-window registry diffing, and the optional JSONL record of
+        # every finished query (fingerprint, ledger, answer digest) that
+        # ``repro replay`` re-executes.  Observation-only, like the rest
+        # of the observability stack.
+        self._cpu_clock = cpu_clock
+        self.capture_path = capture_path
+        self.capture_max_bytes = capture_max_bytes
+        self._capture = None
+        self._ledger = None
+        if ledger:
+            from ..obs.ledger import WorkloadLedger
+
+            self._ledger = WorkloadLedger(registry=self._registry)
         #: the context of the query the lane is executing right now —
         #: written only by the lane; breaker/chaos callbacks (which fire
         #: on the lane thread, inside an attempt) route events here.
@@ -365,6 +389,18 @@ class QueryService:
                 )
             if self._profiler is not None:
                 self._profiler.start()
+            if self.capture_path is not None:
+                from .capture import WorkloadCapture
+
+                self._capture = WorkloadCapture(
+                    self.capture_path, max_bytes=self.capture_max_bytes,
+                    registry=self._registry,
+                )
+                self.capture_rotation = self._capture.open_()
+            if self._ledger is not None:
+                # Baseline *before* the lane can run anything, so the
+                # reconciliation window covers every attributed query.
+                self._ledger.begin()
             self._lane = threading.Thread(
                 target=self._run_lane, name="setjoin-service-lane", daemon=True
             )
@@ -401,6 +437,8 @@ class QueryService:
                 )
         if self._profiler is not None:
             self._profiler.stop()
+        if self._capture is not None:
+            self._capture.close()
         with self._state_lock:
             if self._owns_db:
                 self.db.close()
@@ -514,6 +552,16 @@ class QueryService:
                 continue
             self._inflight.set(1)
             self._current_context = ticket.query.context
+            # The ledger window: everything the query moves in the
+            # registry between these snapshots is *its* bill.  Exactness
+            # rests on the single-lane design — no other query (and no
+            # other db-touching code path) runs concurrently, and
+            # process-worker/shard deltas merge before the join call
+            # returns.
+            ledger_on = self._ledger is not None or self._capture is not None
+            lane_baseline = self._registry.snapshot() if ledger_on else None
+            lane_started = self._clock()
+            cpu_started = self._cpu_clock() if ledger_on else 0.0
             status = "ok"
             result = None
             error: BaseException | None = None
@@ -540,6 +588,11 @@ class QueryService:
                 self._current_context = None
                 ticket.seconds = self._clock() - ticket.query.admitted_at
                 self._latency.observe(max(ticket.seconds, 0.0))
+                if lane_baseline is not None:
+                    self._settle_ledger(
+                        ticket, status, result, lane_baseline,
+                        lane_started, cpu_started,
+                    )
                 self._observe_outcome(ticket, status, error)
             except BaseException:  # noqa: BLE001 — observation-only
                 pass
@@ -565,6 +618,135 @@ class QueryService:
                 query.context, status=status, seconds=ticket.seconds,
                 attempts=ticket.attempts, error=error, objective=objective,
             )
+
+    def _settle_ledger(self, ticket: QueryTicket, status: str, result,
+                       baseline: dict, lane_started: float,
+                       cpu_started: float) -> None:
+        """Bill one finished query: diff the registry over its lane
+        window, attribute by fingerprint, and append the capture record.
+
+        Runs inside the settle block *before* the flight recorder, so a
+        flight entry's snapshot already carries the ledger and the
+        fingerprint.
+        """
+        from ..obs.ledger import QueryLedger
+
+        query = ticket.query
+        ledger = QueryLedger.from_delta(
+            self._registry.delta(baseline),
+            wall_seconds=self._clock() - lane_started,
+            cpu_seconds=self._cpu_clock() - cpu_started,
+        )
+        fingerprint = self._fingerprint(query, result, status)
+        if query.context is not None:
+            query.context.ledger = ledger.to_dict()
+            query.context.fingerprint = fingerprint.key
+        if self._ledger is not None:
+            self._ledger.attribute(
+                fingerprint, ledger, kind=query.kind, status=status,
+                query_id=query.query_id,
+            )
+        if self._capture is not None:
+            from .capture import WorkloadRecord, answer_digest
+
+            self._capture.append(WorkloadRecord(
+                query_id=query.query_id,
+                kind=query.kind,
+                fingerprint=fingerprint.key,
+                label=fingerprint.label,
+                params=self._capture_params(query, result, status),
+                status=status,
+                seconds=ticket.seconds,
+                attempts=ticket.attempts,
+                digest=(
+                    answer_digest(query.kind, result)
+                    if status == "ok" else {}
+                ),
+                ledger=ledger.to_dict(),
+            ))
+
+    def _fingerprint(self, query: Query, result, status: str):
+        """Normalize one query into its stable workload fingerprint.
+
+        Joins key on what actually executed (resolved algorithm/k,
+        signature bits, relation sizes, optimizer densities, shard
+        layout); generated relation names collapse their digit runs so
+        churn traffic shares one shape.
+        """
+        from ..obs.ledger import normalize_workload_name, query_fingerprint
+
+        params = query.params
+        kind = query.kind
+        detail: dict = {}
+        if kind == "join":
+            detail["r"] = normalize_workload_name(params["r"])
+            detail["s"] = normalize_workload_name(params["s"])
+            if status == "ok" and result is not None:
+                __, metrics = result
+                detail["algorithm"] = metrics.algorithm
+                detail["k"] = metrics.num_partitions
+                detail["signature_bits"] = metrics.signature_bits
+                detail["r_size"] = metrics.r_size
+                detail["s_size"] = metrics.s_size
+            else:
+                detail["algorithm"] = params.get("algorithm", "auto")
+            plan = (
+                query.context.plan if query.context is not None else None
+            )
+            if isinstance(plan, dict):
+                for field in ("theta_r", "theta_s"):
+                    if field in plan:
+                        detail[field] = plan[field]
+            if hasattr(self.db, "shard_ids"):
+                detail["shards"] = len(self.db.shard_ids)
+        elif kind == "probe":
+            detail["name"] = normalize_workload_name(params["name"])
+            detail["elements"] = len(params.get("elements", []))
+        elif kind in ("create", "drop"):
+            detail["name"] = normalize_workload_name(params["name"])
+        elif kind == "reshard":
+            detail["shards"] = params.get("shards")
+        return query_fingerprint(kind, detail)
+
+    def _capture_params(self, query: Query, result, status: str) -> dict:
+        """The replayable parameter set for one capture record.
+
+        Join records store the *resolved* plan (from the metrics of the
+        run that answered) rather than ``"auto"``, so replay re-executes
+        the same physical plan regardless of how statistics or models
+        have drifted since the capture.
+        """
+        params = query.params
+        kind = query.kind
+        if kind == "join":
+            out = {
+                "r": params["r"],
+                "s": params["s"],
+                "algorithm": params.get("algorithm", "auto"),
+                "num_partitions": params.get("num_partitions"),
+                "engine": params.get("engine", "numpy"),
+                "seed": params.get("seed", 0),
+            }
+            if "signature_bits" in params:
+                out["signature_bits"] = params["signature_bits"]
+            if status == "ok" and result is not None:
+                __, metrics = result
+                out["algorithm"] = metrics.algorithm
+                out["num_partitions"] = metrics.num_partitions
+                out["signature_bits"] = metrics.signature_bits
+            return {
+                key: value for key, value in out.items() if value is not None
+            }
+        if kind == "probe":
+            return {
+                "name": params["name"],
+                "elements": list(params.get("elements", [])),
+            }
+        if kind in ("create", "drop"):
+            return {"name": params["name"]}
+        if kind == "reshard":
+            return {"shards": params.get("shards")}
+        return {}
 
     def _remaining(self, query: Query) -> float | None:
         """Seconds of deadline left; raises when already spent."""
@@ -619,9 +801,10 @@ class QueryService:
         prediction = None
         plan = None
         flight_on = self._flight is not None and context is not None
+        ledger_on = self._ledger is not None or self._capture is not None
         if algorithm == "auto" and (
             self.drift_path is not None or self._plan_cache is not None
-            or flight_on
+            or flight_on or ledger_on
         ):
             # Plan explicitly — through the cache when enabled — so the
             # prediction that drove the choice is in hand for the drift
@@ -639,14 +822,19 @@ class QueryService:
             # ones workers and shards ship back — stitches to this
             # query in a mixed-traffic JSONL file.
             tracer = Tracer(tags={"query_id": query.query_id})
-        if flight_on:
+        if context is not None and (flight_on or ledger_on):
             if plan is not None:
                 context.plan = {
                     "algorithm": plan.algorithm,
                     "k": plan.k,
                     "predicted_seconds": plan.predicted_seconds,
-                    "explain": plan.explain().splitlines(),
+                    # Optimizer densities feed the workload fingerprint;
+                    # rounded so sampling jitter does not split shapes.
+                    "theta_r": round(plan.theta_r, 3),
+                    "theta_s": round(plan.theta_s, 3),
                 }
+                if flight_on:
+                    context.plan["explain"] = plan.explain().splitlines()
             else:
                 # A named algorithm skips the optimizer; the request
                 # itself is the plan of record.
@@ -867,6 +1055,23 @@ class QueryService:
             return None
         return self._profiler.report(top=top)
 
+    def debug_workload(self, top: int = 5) -> "dict | None":
+        """Workload-ledger report (totals, reconciliation, heavy
+        hitters), or ``None`` when the ledger is disabled."""
+        if self._ledger is None:
+            return None
+        report = self._ledger.report(top=top)
+        if self._capture is not None:
+            report["capture"] = {"path": self._capture.path}
+        return report
+
+    def debug_slo(self) -> "dict | None":
+        """SLO window states and burn rates, or ``None`` when no
+        tracker is configured."""
+        if self._slo is None:
+            return None
+        return self._slo.report()
+
     # ------------------------------------------------------------------
 
     def stats(self) -> dict:
@@ -899,6 +1104,13 @@ class QueryService:
             }
         if self._slo is not None:
             snapshot["slo"] = self._slo.report()
+        if self._ledger is not None:
+            snapshot["workload"] = {
+                "queries": self._ledger.queries,
+                "fingerprints": self._ledger.fingerprints,
+            }
+        if self._capture is not None:
+            snapshot["capture"] = {"path": self._capture.path}
         if self._profiler is not None:
             snapshot["profiler"] = {
                 "hz": self._profiler.hz,

@@ -17,9 +17,13 @@ gate on ``/metrics`` — with the service routes:
   first); ``GET /debug/query/<id>`` — one query's full evidence
   (timeline, plan, drift, span tree; the frozen postmortem for failed
   or objective-breaching queries); ``GET /debug/profile`` — the
-  sampling profiler's phase attribution.  All three are token-gated
-  like ``/metrics`` (query evidence names relations and carries
-  plans) and return 404 when the corresponding layer is disabled.
+  sampling profiler's phase attribution; ``GET /debug/workload`` —
+  the workload ledger's heavy-hitter report (totals, reconciliation,
+  top fingerprints by wall/pages/comparisons; ``?top=N`` widens it);
+  ``GET /debug/slo`` — SLO window states and burn rates.  All debug
+  routes are token-gated like ``/metrics`` (query evidence names
+  relations and carries plans) and return 404 when the corresponding
+  layer is disabled.
 
 Typed service errors map onto transport status codes and every error
 body carries the error class name, so a load generator can tally sheds
@@ -77,7 +81,8 @@ class _ServiceHandler(_Handler):
                 status, "application/json",
                 json.dumps(stats, sort_keys=True).encode(),
             )
-        elif route == "/debug/queries" or route == "/debug/profile" \
+        elif route in ("/debug/queries", "/debug/profile",
+                       "/debug/workload", "/debug/slo") \
                 or route.startswith("/debug/query/"):
             if not self._authorized():
                 self._reply(401, "application/json",
@@ -105,6 +110,26 @@ class _ServiceHandler(_Handler):
             if report is None:
                 return 404, {"error": "profiler disabled"}
             return 200, report
+        if route == "/debug/workload":
+            top = 5
+            query_string = self.path.partition("?")[2]
+            for part in query_string.split("&"):
+                if part.startswith("top="):
+                    try:
+                        top = int(part[len("top="):])
+                    except ValueError:
+                        raise ConfigurationError(
+                            f"top must be an integer, got {part!r}"
+                        ) from None
+            report = service.debug_workload(top=top)
+            if report is None:
+                return 404, {"error": "workload ledger disabled"}
+            return 200, report
+        if route == "/debug/slo":
+            report = service.debug_slo()
+            if report is None:
+                return 404, {"error": "slo tracker disabled"}
+            return 200, report
         raw = route[len("/debug/query/"):]
         try:
             query_id = int(raw)
@@ -126,7 +151,8 @@ class _ServiceHandler(_Handler):
                 {"error": "not found",
                  "endpoints": ["/join", "/probe", "/readyz", "/healthz",
                                "/metrics", "/debug/queries",
-                               "/debug/query/<id>", "/debug/profile"]}
+                               "/debug/query/<id>", "/debug/profile",
+                               "/debug/workload", "/debug/slo"]}
             ).encode())
             return
         try:

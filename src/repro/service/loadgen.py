@@ -22,6 +22,12 @@ clean pass pins the truth), then classifies every chaotic outcome:
 
 Pacing and randomness are injectable (``clock``/``sleep``/``seed``) so
 CI runs are deterministic and fast.
+
+When the service under load was built with ``capture_path=...``, every
+query the generator sends is also appended to the workload capture —
+``repro replay`` can then re-execute the (chaos-free) run and diff
+answers and deterministic resources, which is how the CI
+``workload-replay`` job closes the loop.
 """
 
 from __future__ import annotations

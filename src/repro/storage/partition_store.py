@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Iterator
 
 from ..errors import ConfigurationError
+from ..obs.registry import get_registry
 from .btree import BTree
 from .buffer import BufferPool
 from .serialization import (
@@ -68,6 +69,13 @@ class PartitionStore:
                 f"exceed the {max_value}-byte record limit"
             )
         self._tree = BTree.create(pool)
+        # Cached handle: every portion flush is a spill of buffered
+        # partition entries to temporary B-tree records — the ledger's
+        # "spill bytes" resource.
+        self._spill_counter = get_registry().counter(
+            "setjoin_spill_bytes_total",
+            "Partition-entry bytes spilled to temporary B-tree records",
+        )
         self._buffers: list[bytearray] = [bytearray() for __ in range(num_partitions)]
         self._portion_counts = [0] * num_partitions
         self._entry_counts = [0] * num_partitions
@@ -169,6 +177,7 @@ class PartitionStore:
                 "for partitions of this size"
             )
         self._tree.insert(key, record)
+        self._spill_counter.inc(len(entry))
 
     def _flush_portion(self, partition: int) -> None:
         buffer = self._buffers[partition]
@@ -176,6 +185,7 @@ class PartitionStore:
             return
         key = _portion_key(partition, self._portion_counts[partition])
         self._tree.insert(key, bytes(buffer))
+        self._spill_counter.inc(len(buffer))
         self._portion_counts[partition] += 1
         buffer.clear()
 

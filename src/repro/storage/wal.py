@@ -96,6 +96,9 @@ class WriteAheadLog:
         self._fsync_counter = get_registry().counter(
             "setjoin_wal_fsyncs_total", "WAL fsync barriers issued"
         )
+        self._bytes_counter = get_registry().counter(
+            "setjoin_wal_bytes_total", "Bytes appended to the WAL"
+        )
         self._next_lsn = 1
         self._closed = False
         self._memory_log: list[bytes] | None = None
@@ -163,6 +166,7 @@ class WriteAheadLog:
 
     def _append(self, record: bytes, label: str) -> None:
         self._tick(label)
+        self._bytes_counter.inc(len(record))
         if self._file is None:
             assert self._memory_log is not None
             self._memory_log.append(record)

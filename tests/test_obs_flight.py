@@ -147,6 +147,112 @@ class TestPostmortems:
         assert not os.path.exists(str(path) + ".tmp")
 
 
+class TestRingEvictionOrdering:
+    def test_mixed_ok_and_failed_evict_strictly_oldest_first(self):
+        """Ring eviction is insertion-ordered regardless of status; the
+        postmortem map is what privileges failures, not the ring."""
+        recorder = make_recorder(capacity=4)
+        statuses = {}
+        for query_id in range(1, 11):
+            status = "error" if query_id % 3 == 0 else "ok"
+            statuses[query_id] = status
+            recorder.record(
+                QueryContext(query_id, "join", wall=FakeWall()),
+                status=status, seconds=0.1,
+            )
+        entries = recorder.entries()
+        assert [entry["query_id"] for entry in entries] == [10, 9, 8, 7]
+        assert [entry["status"] for entry in entries] == [
+            statuses[query_id] for query_id in (10, 9, 8, 7)
+        ]
+        # Evicted ok queries are gone; evicted failures survive as
+        # postmortems and the summaries flag which entries have one.
+        assert recorder.get(1) is None
+        assert recorder.get(3)["postmortem_reason"] == "error"
+        assert recorder.postmortems() == [3, 6, 9]
+        flagged = {e["query_id"] for e in entries if e["postmortem"]}
+        assert flagged == {9}
+
+    def test_postmortem_map_evicts_oldest_failure_first(self):
+        recorder = make_recorder(capacity=2)
+        for query_id in range(1, 6):
+            recorder.record(
+                QueryContext(query_id, "join", wall=FakeWall()),
+                status="error", seconds=0.1,
+            )
+        assert recorder.postmortems() == [4, 5]
+        assert recorder.get(3) is None
+
+
+class TestPostmortemDumpBudget:
+    @staticmethod
+    def dump_failures(recorder, query_ids):
+        for query_id in query_ids:
+            recorder.record(
+                QueryContext(query_id, "join", wall=FakeWall()),
+                status="error", seconds=0.1,
+            )
+
+    @staticmethod
+    def listing(directory):
+        live = sorted(
+            name for name in os.listdir(directory)
+            if name.endswith(".json") and name.startswith("postmortem-q")
+        )
+        stale = sorted(
+            name for name in os.listdir(directory)
+            if name.endswith(".json.stale")
+        )
+        return live, stale
+
+    def test_rejects_nonpositive_max_files(self, tmp_path):
+        with pytest.raises(ValueError, match="postmortem_max_files"):
+            make_recorder(postmortem_dir=str(tmp_path),
+                          postmortem_max_files=0)
+
+    def test_file_count_cap_archives_oldest_to_stale(self, tmp_path):
+        directory = str(tmp_path / "pm")
+        recorder = make_recorder(
+            postmortem_dir=directory, postmortem_max_files=3,
+        )
+        self.dump_failures(recorder, range(1, 9))
+        live, stale = self.listing(directory)
+        # Newest three stay live; older dumps moved aside, not deleted.
+        assert live == [f"postmortem-q{n}.json" for n in (6, 7, 8)]
+        assert len(stale) == 3  # stale pool bounded at max_files too
+        assert stale == [f"postmortem-q{n}.json.stale" for n in (3, 4, 5)]
+
+    def test_byte_cap_archives_until_under_budget(self, tmp_path):
+        directory = str(tmp_path / "pm")
+        recorder = make_recorder(
+            postmortem_dir=directory, postmortem_max_files=100,
+            postmortem_max_bytes=1,
+        )
+        self.dump_failures(recorder, range(1, 4))
+        live, stale = self.listing(directory)
+        # Every dump busts a 1-byte budget, so nothing stays live.
+        assert live == []
+        assert stale == [f"postmortem-q{n}.json.stale" for n in (1, 2, 3)]
+
+    def test_archived_dumps_still_parse(self, tmp_path):
+        directory = str(tmp_path / "pm")
+        recorder = make_recorder(
+            postmortem_dir=directory, postmortem_max_files=1,
+        )
+        self.dump_failures(recorder, [1, 2])
+        stale_path = os.path.join(directory, "postmortem-q1.json.stale")
+        assert json.loads(open(stale_path).read())["query_id"] == 1
+
+    def test_directory_has_a_hard_file_ceiling(self, tmp_path):
+        directory = str(tmp_path / "pm")
+        recorder = make_recorder(
+            postmortem_dir=directory, postmortem_max_files=2,
+        )
+        self.dump_failures(recorder, range(1, 30))
+        live, stale = self.listing(directory)
+        assert len(live) + len(stale) <= 4  # 2 × max_files
+
+
 @pytest.fixture()
 def loaded_db(small_workload):
     lhs, rhs = small_workload

@@ -127,3 +127,83 @@ class TestDriftDelegation:
         kept = [json.loads(line) for line in open(path)]
         assert len(kept) == 5
         assert all(line["algorithm"] == "PSJ" for line in kept)
+
+
+class TestConcurrentWriters:
+    """The service appends trace/capture lines from a lock-guarded
+    handle, but nothing stops several processes (or a service plus a
+    tail -f style tool) from appending to the same history.  Rotation
+    must stay safe against whole-line interleavings: every surviving
+    record is intact and the newest-K window is honored."""
+
+    def test_interleaved_appends_rotate_cleanly(self, tmp_path):
+        import threading
+
+        path = str(tmp_path / "trace.jsonl")
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def writer(worker: int) -> None:
+            try:
+                barrier.wait()
+                for sequence in range(100):
+                    # One os-level write per line: the POSIX append
+                    # guarantee the service's locked handle also relies
+                    # on, line-buffered so lines land whole.
+                    with open(path, "a") as handle:
+                        handle.write(json.dumps(
+                            {"worker": worker, "sequence": sequence}
+                        ) + "\n")
+            except Exception as error:  # pragma: no cover - diagnostic
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=writer, args=(worker,))
+            for worker in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+        out = rotate_jsonl(path, max_bytes=10, keep=50)
+        assert out["rotated"] is True
+        assert out["kept"] == 50
+        kept = [json.loads(line) for line in open(path)]
+        assert len(kept) == 50
+        # Every surviving line is a whole record with both fields.
+        assert all(set(record) == {"worker", "sequence"} for record in kept)
+        # Per-writer order survives compaction (newest-K is a suffix of
+        # the appended stream, and each writer appended in order).
+        for worker in range(4):
+            sequences = [
+                record["sequence"] for record in kept
+                if record["worker"] == worker
+            ]
+            assert sequences == sorted(sequences)
+
+    def test_rotation_during_live_appends_loses_no_sidecar(self, tmp_path):
+        import threading
+
+        path = str(tmp_path / "trace.jsonl")
+        write_lines(path, [{"n": index} for index in range(200)])
+        stop = threading.Event()
+
+        def churn() -> None:
+            while not stop.is_set():
+                with open(path, "a") as handle:
+                    handle.write(json.dumps({"n": -1}) + "\n")
+
+        thread = threading.Thread(target=churn)
+        thread.start()
+        try:
+            for __ in range(5):
+                rotate_jsonl(path, max_bytes=10, keep=20)
+        finally:
+            stop.set()
+            thread.join()
+        assert os.path.exists(path + ".meta.json")
+        # Whatever survived the concurrent churn still parses per line.
+        for line in open(path):
+            assert isinstance(json.loads(line), dict)

@@ -72,8 +72,18 @@ def run_join(tmp_path, workload, backend):
         for name, entry in delta.items()
         if entry["kind"] == "counter"
         and name.startswith(INVARIANT_PREFIXES)
+        # Timing counters (worker wall seconds) are real work the
+        # deltas must carry home, but their *values* are clock reads —
+        # only the integer counters can be bit-identical.
+        and not name.endswith("_seconds_total")
     }
-    return pairs, metrics, counters
+    timings = {
+        name: entry["value"]
+        for name, entry in delta.items()
+        if entry["kind"] == "counter" and name.endswith("_seconds_total")
+        and name.startswith(INVARIANT_PREFIXES)
+    }
+    return pairs, metrics, counters, timings
 
 
 def test_parent_registry_identical_across_backends(tmp_path, workload):
@@ -81,14 +91,17 @@ def test_parent_registry_identical_across_backends(tmp_path, workload):
         backend: run_join(tmp_path, workload, backend)
         for backend in BACKENDS
     }
-    serial_pairs, serial_metrics, serial_counters = runs["serial"]
+    serial_pairs, serial_metrics, serial_counters, serial_timings = (
+        runs["serial"]
+    )
 
     assert serial_counters.get("setjoin_wal_commits_total", 0) >= 1
     assert serial_counters.get("setjoin_worker_shards_total", 0) >= 1
     assert serial_counters.get("setjoin_buffer_hits_total", 0) > 0
+    assert serial_timings.get("setjoin_worker_seconds_total", 0) > 0
 
     for backend in ("thread", "process"):
-        pairs, metrics, counters = runs[backend]
+        pairs, metrics, counters, timings = runs[backend]
         assert pairs == serial_pairs
         assert metrics.signature_comparisons == (
             serial_metrics.signature_comparisons
@@ -96,10 +109,14 @@ def test_parent_registry_identical_across_backends(tmp_path, workload):
         assert counters == serial_counters, (
             f"{backend} backend perturbed the parent registry"
         )
+        # Worker wall time must still come home through the delta merge
+        # (a dropped delta would leave it at zero) even though its value
+        # cannot be bit-identical across backends.
+        assert timings.get("setjoin_worker_seconds_total", 0) > 0
 
 
 def test_worker_counters_cover_all_shards(tmp_path, workload):
-    __, __, counters = run_join(tmp_path, workload, "process")
+    __, __, counters, __ = run_join(tmp_path, workload, "process")
     assert counters["setjoin_worker_shards_total"] == 3
     assert counters["setjoin_worker_partitions_total"] == 8
     assert counters["setjoin_worker_comparisons_total"] > 0

@@ -507,3 +507,67 @@ class TestHTTPDebugEndpoints:
         finally:
             server.stop()
             service.stop()
+
+    def test_debug_workload_reports_heavy_hitters(self, served):
+        __, server = served
+        self.post_join(server)
+        self.post_join(server)
+        status, report = self.get(server.url + "/debug/workload")
+        assert status == 200
+        assert report["queries"] == 2
+        assert report["fingerprints"] == 1
+        (group,) = report["top"]["wall"]
+        assert group["kind"] == "join" and group["queries"] == 2
+        assert report["reconciliation"]["exact"] is True
+
+    def test_debug_workload_honors_top_parameter(self, served):
+        service, server = served
+        self.post_join(server)
+        service.probe("s", [1])
+        __, wide = self.get(server.url + "/debug/workload?top=2")
+        __, narrow = self.get(server.url + "/debug/workload?top=1")
+        assert len(wide["top"]["wall"]) == 2
+        assert len(narrow["top"]["wall"]) == 1
+
+    def test_debug_workload_bad_top_is_400(self, served):
+        __, server = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.get(server.url + "/debug/workload?top=banana")
+        assert excinfo.value.code == 400
+
+    def test_debug_workload_disabled_is_404(self, loaded_db):
+        registry = MetricsRegistry()
+        service = make_service(
+            loaded_db, registry=registry, ledger=False,
+        ).start()
+        server = ServiceServer(service, port=0, registry=registry).start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self.get(server.url + "/debug/workload")
+            assert excinfo.value.code == 404
+        finally:
+            server.stop()
+            service.stop()
+
+    def test_debug_slo_reports_windows_and_burn(self, loaded_db):
+        registry = MetricsRegistry()
+        service = make_service(
+            loaded_db, registry=registry, slo={"join": 30.0},
+        ).start()
+        server = ServiceServer(service, port=0, registry=registry).start()
+        try:
+            self.post_join(server)
+            status, report = self.get(server.url + "/debug/slo")
+            assert status == 200
+            assert report["join"]["latency_objective"] == 30.0
+            assert "windows" in report["join"]
+            assert "alerting" in report["join"]
+        finally:
+            server.stop()
+            service.stop()
+
+    def test_debug_slo_disabled_is_404(self, served):
+        __, server = served
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.get(server.url + "/debug/slo")
+        assert excinfo.value.code == 404
