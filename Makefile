@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments scorecard paper-scale examples \
-	profile-baseline clean
+.PHONY: install test bench experiments ablations scorecard paper-scale \
+	examples profile-baseline clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -29,6 +29,22 @@ profile-baseline:
 
 experiments:
 	$(PYTHON) -m repro.experiments --all --out results/
+
+# Regenerate the committed ablation artifacts: the per-question
+# experiment tables (results/ablation-*.tsv/.txt — seeded, so their
+# deterministic columns reproduce bit-identically) and the declarative
+# harness's importance report (results/ablation_importance.tsv/.jsonl;
+# checked against itself so regeneration also proves the tripwire
+# passes).  Wall-time columns vary per machine; x/y/pages do not.
+ablations:
+	mkdir -p results
+	for id in ablation-alternation ablation-buffer ablation-firing \
+		ablation-hash-family ablation-hybrid ablation-modulo \
+		ablation-options ablation-portions ablation-skew; do \
+		$(PYTHON) -m repro.experiments $$id --out results/ || exit 1; \
+	done
+	$(PYTHON) -m repro.cli ablate --scale 0.5 --out results/ \
+		--history BENCH_history.jsonl
 
 scorecard:
 	$(PYTHON) -m repro.experiments scorecard

@@ -1,0 +1,118 @@
+"""Ablation run-matrix generation with stable content-hashed run IDs.
+
+The matrix is *baseline plus one component off*: one run with every knob
+at its :data:`~repro.ablate.registry.BASELINE_KNOBS` value, then one run
+per registered component variant with exactly that variant's overrides
+applied.  Importance is therefore always a clean single-knob diff.
+
+Run IDs are content hashes over the canonical JSON of everything that
+determines the run's outcome — schema version, bench-suite name, scale,
+seed, and the fully resolved knob dict — so the same configuration gets
+the same 12-hex ID in every process and on every machine (pinned by a
+subprocess test), and any knob change produces a new ID.  IDs are how
+reports line up across PRs: the CI tripwire compares importance by
+component name, and run IDs tell it whether the underlying config moved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from .registry import BASELINE_KNOBS, Component, all_components, get_component
+
+__all__ = ["ABLATE_SCHEMA", "SUITE", "RunSpec", "build_matrix", "run_id_for"]
+
+#: Bumped whenever the bench suite or knob semantics change incompatibly;
+#: part of every run ID, so stale committed reports cannot line up.
+ABLATE_SCHEMA = 1
+
+#: Name of the bench-suite recipe in :mod:`repro.ablate.bench`.
+SUITE = "canonical-v1"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully resolved ablation run."""
+
+    run_id: str
+    component: str | None   # None for the baseline run
+    variant: str | None
+    layer: str
+    invariance: str | None
+    knobs: dict
+    scale: float
+    seed: int
+
+    @property
+    def name(self) -> str:
+        if self.component is None:
+            return "baseline"
+        return f"{self.component}:{self.variant}"
+
+    def to_dict(self) -> dict:
+        return {
+            "run_id": self.run_id,
+            "name": self.name,
+            "component": self.component,
+            "variant": self.variant,
+            "layer": self.layer,
+            "invariance": self.invariance,
+            "knobs": dict(self.knobs),
+            "scale": self.scale,
+            "seed": self.seed,
+        }
+
+
+def run_id_for(knobs: dict, scale: float, seed: int,
+               suite: str = SUITE) -> str:
+    """The stable 12-hex content hash of one run configuration."""
+    canonical = json.dumps(
+        {
+            "schema": ABLATE_SCHEMA,
+            "suite": suite,
+            "scale": scale,
+            "seed": seed,
+            "knobs": knobs,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
+
+def _spec(component: Component | None, variant: str | None,
+          overrides: dict, scale: float, seed: int) -> RunSpec:
+    knobs = dict(BASELINE_KNOBS)
+    knobs.update(overrides)
+    return RunSpec(
+        run_id=run_id_for(knobs, scale, seed),
+        component=component.name if component is not None else None,
+        variant=variant,
+        layer=component.layer if component is not None else "baseline",
+        invariance=component.invariance if component is not None else None,
+        knobs=knobs,
+        scale=scale,
+        seed=seed,
+    )
+
+
+def build_matrix(components: list[str] | None = None,
+                 scale: float = 1.0, seed: int = 11) -> list[RunSpec]:
+    """The baseline run plus one run per component variant.
+
+    ``components`` filters to a named subset (the ``repro ablate
+    --component`` path); the baseline run is always included because
+    every importance score is a delta against it.
+    """
+    if components is None:
+        selected = all_components()
+    else:
+        selected = [get_component(name) for name in components]
+    specs = [_spec(None, None, {}, scale, seed)]
+    for component in selected:
+        for variant in sorted(component.variants):
+            specs.append(_spec(component, variant,
+                               component.variants[variant], scale, seed))
+    return specs

@@ -1,0 +1,325 @@
+"""Importance scoring, report rendering, and the CI tripwire.
+
+A component's **importance** is how much the system changes when it is
+turned off — measured as signed relative deltas of each ablated run
+against the baseline run, over:
+
+* the deterministic axes — signature comparisons x, replicated
+  signatures y, page I/O (reads+writes), WAL bytes, and plan-phase page
+  I/O — whose maximum absolute value is ``importance_det``; and
+* wall time, which folds into the broader ``importance`` score.
+
+Components are **ranked by importance_det** (tie-broken by name): the
+deterministic axes are bit-identical across machines, so the committed
+ranking is stable and diffable, while wall time — which varies per host
+— is reported but never decides rank.  A component with several variants
+is represented by its max-impact variant.
+
+Answer invariants are checked per variant against the baseline run:
+every run's pairs digest must match (the containment join's answer is
+unique regardless of configuration), and ``answer-exact`` components
+must additionally pin x and y bit-identical.
+
+:func:`check_importance` is the tripwire ``repro ablate --check`` and
+the CI ``ablation-importance`` job gate on.  Against a committed
+:func:`render_importance_tsv` report it fails when:
+
+* any fresh run violates its answer invariant;
+* the fresh baseline's x/y differ from the committed baseline's (the
+  suite's determinism itself broke);
+* a committed component is missing from a fresh full-matrix run; or
+* a component's importance **collapses** — committed ``importance_det``
+  was significant (>= 2%) but the fresh value fell below a quarter of
+  it, meaning the component stopped doing measurable work: dead weight
+  or a silently-disabled code path.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .matrix import ABLATE_SCHEMA, SUITE
+
+__all__ = [
+    "COLLAPSE_RATIO",
+    "SIGNIFICANT_IMPORTANCE",
+    "check_importance",
+    "parse_importance_tsv",
+    "render_importance_tsv",
+    "score_runs",
+]
+
+#: Committed importance_det below this is noise; collapse is not gated.
+SIGNIFICANT_IMPORTANCE = 0.02
+
+#: Fresh importance_det under this fraction of committed is a collapse.
+COLLAPSE_RATIO = 0.25
+
+#: The deterministic delta axes: row field -> how to read it from a run.
+_DET_AXES = ("x", "y", "pages", "wal_bytes", "plan_pages")
+
+_TSV_COLUMNS = (
+    "rank", "component", "layer", "invariance", "variant",
+    "importance_det", "importance", "d_wall", "d_x", "d_y", "d_pages",
+    "d_wal_bytes", "d_plan_pages", "answer_ok", "run_id",
+)
+
+
+def _axes(row: dict) -> dict:
+    resources = row.get("resources", {})
+    extras = row.get("extras", {})
+    return {
+        "x": row.get("x", 0),
+        "y": row.get("y", 0),
+        "pages": (resources.get("pages_read", 0)
+                  + resources.get("pages_written", 0)),
+        "wal_bytes": resources.get("wal_bytes", 0),
+        "plan_pages": extras.get("plan_pages", 0),
+        "wall": row.get("wall_seconds", 0.0),
+    }
+
+
+def _rel(value, base) -> float:
+    return (value - base) / max(base, 1e-12)
+
+
+def score_runs(runs: list[dict]) -> dict:
+    """Rank components from a matrix's run rows.
+
+    ``runs`` must contain exactly one baseline row (``component`` None);
+    every other row is one component variant.
+    """
+    baseline_rows = [row for row in runs if row.get("component") is None]
+    if len(baseline_rows) != 1:
+        raise ConfigurationError(
+            f"expected exactly one baseline run, got {len(baseline_rows)}"
+        )
+    baseline = baseline_rows[0]
+    base = _axes(baseline)
+
+    variants: dict[str, list[dict]] = {}
+    for row in runs:
+        if row.get("component") is None:
+            continue
+        axes = _axes(row)
+        deltas = {name: _rel(axes[name], base[name]) for name in _DET_AXES}
+        deltas["wall"] = _rel(axes["wall"], base["wall"])
+        importance_det = max(abs(deltas[name]) for name in _DET_AXES)
+        violations = []
+        if row.get("pairs_digest") != baseline.get("pairs_digest"):
+            violations.append(
+                "pairs digest diverged from baseline "
+                f"({row.get('pairs_digest')} != {baseline.get('pairs_digest')})"
+            )
+        if row.get("invariance") == "answer-exact":
+            if row.get("x") != baseline.get("x"):
+                violations.append(
+                    f"x changed: {row.get('x')} != {baseline.get('x')}")
+            if row.get("y") != baseline.get("y"):
+                violations.append(
+                    f"y changed: {row.get('y')} != {baseline.get('y')}")
+        variants.setdefault(row["component"], []).append({
+            "component": row["component"],
+            "variant": row.get("variant"),
+            "layer": row.get("layer"),
+            "invariance": row.get("invariance"),
+            "run_id": row.get("run_id"),
+            "fingerprint": row.get("fingerprint"),
+            "importance_det": importance_det,
+            "importance": max(importance_det, abs(deltas["wall"])),
+            "deltas": deltas,
+            "answer_ok": not violations,
+            "violations": violations,
+        })
+
+    components = []
+    for name in sorted(variants):
+        scored = sorted(
+            variants[name],
+            key=lambda v: (-v["importance_det"], -v["importance"],
+                           v["variant"] or ""),
+        )
+        best = dict(scored[0])
+        # An invariant violation on *any* variant taints the component.
+        best["answer_ok"] = all(v["answer_ok"] for v in scored)
+        best["violations"] = [
+            violation for v in scored for violation in v["violations"]
+        ]
+        best["variants_run"] = len(scored)
+        components.append(best)
+    components.sort(key=lambda c: (-c["importance_det"], c["component"]))
+    for rank, component in enumerate(components, start=1):
+        component["rank"] = rank
+
+    return {
+        "schema": ABLATE_SCHEMA,
+        "suite": SUITE,
+        "scale": baseline.get("scale"),
+        "seed": baseline.get("seed"),
+        "baseline": {
+            "run_id": baseline.get("run_id"),
+            "x": base["x"],
+            "y": base["y"],
+            "pages": base["pages"],
+            "wal_bytes": base["wal_bytes"],
+            "plan_pages": base["plan_pages"],
+            "wall_seconds": base["wall"],
+            "pairs_digest": baseline.get("pairs_digest"),
+            "fingerprint": baseline.get("fingerprint"),
+        },
+        "components": components,
+    }
+
+
+def render_importance_tsv(report: dict) -> str:
+    """The committed ``results/ablation_importance.tsv`` format.
+
+    Header comments carry the baseline absolutes the tripwire compares
+    exactly; data rows carry one component each, rank order.
+    """
+    baseline = report["baseline"]
+    lines = [
+        "# ablation importance report",
+        f"# schema={report['schema']} suite={report['suite']} "
+        f"scale={report['scale']} seed={report['seed']}",
+        f"# baseline run_id={baseline['run_id']} x={baseline['x']} "
+        f"y={baseline['y']} pages={baseline['pages']} "
+        f"wal_bytes={baseline['wal_bytes']} "
+        f"plan_pages={baseline['plan_pages']} "
+        f"pairs={baseline['pairs_digest']}",
+        "\t".join(_TSV_COLUMNS),
+    ]
+    for component in report["components"]:
+        deltas = component["deltas"]
+        lines.append("\t".join(str(part) for part in (
+            component["rank"],
+            component["component"],
+            component["layer"],
+            component["invariance"],
+            component["variant"],
+            f"{component['importance_det']:.4f}",
+            f"{component['importance']:.4f}",
+            f"{deltas['wall']:+.4f}",
+            f"{deltas['x']:+.4f}",
+            f"{deltas['y']:+.4f}",
+            f"{deltas['pages']:+.4f}",
+            f"{deltas['wal_bytes']:+.4f}",
+            f"{deltas['plan_pages']:+.4f}",
+            "yes" if component["answer_ok"] else "NO",
+            component["run_id"],
+        )))
+    return "\n".join(lines) + "\n"
+
+
+def parse_importance_tsv(text: str) -> dict:
+    """Parse a committed report back into baseline + per-component rows."""
+    baseline: dict = {}
+    meta: dict = {}
+    components: dict[str, dict] = {}
+    header: list[str] | None = None
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line.lstrip("# ")
+            target = None
+            if body.startswith("baseline "):
+                target, body = baseline, body[len("baseline "):]
+            elif body.startswith("schema="):
+                target = meta
+            if target is not None:
+                for part in body.split():
+                    if "=" in part:
+                        key, value = part.split("=", 1)
+                        try:
+                            target[key] = int(value)
+                        except ValueError:
+                            try:
+                                target[key] = float(value)
+                            except ValueError:
+                                target[key] = value
+            continue
+        cells = line.split("\t")
+        if header is None:
+            header = cells
+            continue
+        row = dict(zip(header, cells))
+        row["importance_det"] = float(row["importance_det"])
+        row["importance"] = float(row["importance"])
+        row["rank"] = int(row["rank"])
+        row["answer_ok"] = row["answer_ok"] == "yes"
+        components[row["component"]] = row
+    if header is None:
+        raise ConfigurationError("importance TSV has no header row")
+    return {"meta": meta, "baseline": baseline, "components": components}
+
+
+def check_importance(fresh: dict, committed: dict,
+                     full_matrix: bool = True) -> list[str]:
+    """Diff a fresh report against a committed one; returns failures.
+
+    ``fresh`` is :func:`score_runs` output; ``committed`` is
+    :func:`parse_importance_tsv` output.  ``full_matrix=False`` (the
+    ``--component`` filtered path) skips the missing-component check and
+    only gates components present in both.
+    """
+    failures: list[str] = []
+    for component in fresh["components"]:
+        if not component["answer_ok"]:
+            for violation in component["violations"]:
+                failures.append(
+                    f"{component['component']}: answer invariant violated: "
+                    f"{violation}"
+                )
+
+    meta = committed.get("meta", {})
+    compatible = (
+        meta.get("schema") == fresh.get("schema")
+        and meta.get("suite") == fresh.get("suite")
+        and meta.get("scale") == fresh.get("scale")
+        and meta.get("seed") == fresh.get("seed")
+    )
+    if not compatible:
+        failures.append(
+            "committed report configuration "
+            f"(schema={meta.get('schema')} suite={meta.get('suite')} "
+            f"scale={meta.get('scale')} seed={meta.get('seed')}) does not "
+            f"match this run (schema={fresh.get('schema')} "
+            f"suite={fresh.get('suite')} scale={fresh.get('scale')} "
+            f"seed={fresh.get('seed')}); regenerate with make ablations"
+        )
+        return failures
+
+    committed_baseline = committed.get("baseline", {})
+    fresh_baseline = fresh["baseline"]
+    for key in ("x", "y"):
+        if committed_baseline.get(key) != fresh_baseline.get(key):
+            failures.append(
+                f"baseline {key} drifted: committed "
+                f"{committed_baseline.get(key)}, fresh "
+                f"{fresh_baseline.get(key)} — the suite's deterministic "
+                "accounting changed"
+            )
+
+    fresh_by_name = {c["component"]: c for c in fresh["components"]}
+    for name, committed_row in sorted(committed.get("components", {}).items()):
+        fresh_row = fresh_by_name.get(name)
+        if fresh_row is None:
+            if full_matrix:
+                failures.append(
+                    f"{name}: in the committed report but missing from "
+                    "this run (component unregistered?)"
+                )
+            continue
+        committed_det = committed_row["importance_det"]
+        if committed_det >= SIGNIFICANT_IMPORTANCE:
+            threshold = committed_det * COLLAPSE_RATIO
+            if fresh_row["importance_det"] < threshold:
+                failures.append(
+                    f"{name}: importance collapsed: committed "
+                    f"importance_det={committed_det:.4f}, fresh "
+                    f"{fresh_row['importance_det']:.4f} "
+                    f"(< {COLLAPSE_RATIO:.0%} of committed) — the "
+                    "component no longer does measurable work"
+                )
+    return failures

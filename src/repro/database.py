@@ -66,12 +66,15 @@ class SetJoinDatabase:
         disk: DiskManager | None = None,
         wal: WriteAheadLog | None = None,
         model_store=None,
+        verify_checksums: bool = True,
     ):
         if disk is None:
             if path is None:
-                disk = InMemoryDiskManager(page_size)
+                disk = InMemoryDiskManager(
+                    page_size, verify_checksums=verify_checksums)
             else:
-                disk = FileDiskManager(path, page_size)
+                disk = FileDiskManager(
+                    path, page_size, verify_checksums=verify_checksums)
         if durable:
             if wal is None and path is not None:
                 wal = WriteAheadLog(path + ".wal", disk.page_size)
@@ -335,6 +338,7 @@ class SetJoinDatabase:
         shard_hook=None,
         tracer=None,
         query_id: int | None = None,
+        partitioner=None,
     ) -> tuple[set[tuple[int, int]], JoinMetrics]:
         """Set containment join of two stored relations (R ⊆ S side order).
 
@@ -348,9 +352,15 @@ class SetJoinDatabase:
         service uses ``shard_timeout`` to propagate per-query deadlines
         down to the shard level and ``shard_hook`` to inject chaos.
         Results are bit-identical at any worker count.
+
+        ``partitioner`` bypasses planning entirely: the given partitioner
+        runs as-is with no statistics sampling (the ablation harness uses
+        this to pin the physical plan while varying one knob).
         """
         self._check_open()
-        if algorithm == "auto":
+        if partitioner is not None:
+            pass
+        elif algorithm == "auto":
             partitioner = self.plan(r_name, s_name).build_partitioner(seed=seed)
         else:
             from .core.modulo import dcj_with_any_k, lsj_with_any_k

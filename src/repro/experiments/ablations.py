@@ -171,7 +171,7 @@ def run_firing(k: int = 64, seed: int = 9,
 
 
 @register("ablation-portions")
-def run_portions(k: int = 64, seed: int = 9) -> ExperimentResult:
+def run_portions(k: int = 64, seed: int = 9, clock=None) -> ExperimentResult:
     """Portioned partition records vs one monolithic record per partition.
 
     The workload is sized so monolithic records stay within the B-tree's
@@ -181,6 +181,7 @@ def run_portions(k: int = 64, seed: int = 9) -> ExperimentResult:
     sizes the monolithic layout fails outright (records outgrow a page) —
     see the test suite's ``test_monolithic_overflows``.
     """
+    clock = clock if clock is not None else time.perf_counter
     lhs, rhs = uniform_workload(
         150, 150, 10, 20, domain_size=20_000, seed=seed, planted_pairs=3
     ).materialize()
@@ -193,7 +194,7 @@ def run_portions(k: int = 64, seed: int = 9) -> ExperimentResult:
     outcomes = {}
     for layout, monolithic in (("portioned", False), ("monolithic", True)):
         partitioner = make_partitioner(*partitioner_args, seed=seed)
-        started = time.perf_counter()
+        started = clock()
         try:
             pairs, metrics = run_disk_join(
                 lhs, rhs, partitioner, monolithic_partitions=monolithic
@@ -209,7 +210,7 @@ def run_portions(k: int = 64, seed: int = 9) -> ExperimentResult:
         except Exception as error:  # monolithic overflows on large partitions
             row = {
                 "layout": layout,
-                "t_partition_s": time.perf_counter() - started,
+                "t_partition_s": clock() - started,
                 "t_total_s": float("nan"),
                 "page_writes": 0,
                 "ok": f"failed: {type(error).__name__}",

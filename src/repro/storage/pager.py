@@ -73,22 +73,27 @@ def encode_page(payload: bytes, page_size: int, lsn: int = 0) -> bytes:
     return zlib.crc32(body).to_bytes(4, "big") + body
 
 
-def decode_page(raw: bytes, page_id: int = -1) -> tuple[bytes, int]:
+def decode_page(raw: bytes, page_id: int = -1,
+                verify: bool = True) -> tuple[bytes, int]:
     """Verify and strip a physical page image; returns ``(payload, lsn)``.
 
     An all-zero image is a valid never-written page.  Anything else must
     carry a correct CRC or :class:`CorruptPageError` is raised.
+    ``verify=False`` skips the CRC comparison (the checksum ablation's
+    seam — corruption then decodes as garbage, exactly the failure mode
+    the header exists to prevent).
     """
     if raw == bytes(len(raw)):
         return bytes(len(raw) - PAGE_HEADER_SIZE), 0
-    stored = int.from_bytes(raw[:4], "big")
-    actual = zlib.crc32(raw[4:])
-    if stored != actual:
-        raise CorruptPageError(
-            f"page {page_id} checksum mismatch "
-            f"(stored {stored:#010x}, computed {actual:#010x}); "
-            "torn write or bit rot"
-        )
+    if verify:
+        stored = int.from_bytes(raw[:4], "big")
+        actual = zlib.crc32(raw[4:])
+        if stored != actual:
+            raise CorruptPageError(
+                f"page {page_id} checksum mismatch "
+                f"(stored {stored:#010x}, computed {actual:#010x}); "
+                "torn write or bit rot"
+            )
     lsn = int.from_bytes(raw[4:12], "big")
     return raw[PAGE_HEADER_SIZE:], lsn
 
@@ -128,10 +133,12 @@ class DiskManager:
     pages as live (space is leaked across restarts, never corrupted).
     """
 
-    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE,
+                 verify_checksums: bool = True):
         if page_size < _MIN_PAGE_SIZE:
             raise PageError(f"page size {page_size} too small")
         self.page_size = page_size
+        self.verify_checksums = verify_checksums
         self.stats = IOStats()
         self._free_pages: list[int] = []
         # Mirrors _free_pages for O(1) double-free detection.
@@ -187,7 +194,7 @@ class DiskManager:
         self._check_page_id(page_id)
         raw = self._read_physical(page_id)
         self.stats.page_reads += 1
-        payload, __ = decode_page(raw, page_id)
+        payload, __ = decode_page(raw, page_id, verify=self.verify_checksums)
         return payload
 
     def write_page(self, page_id: int, data: bytes, lsn: int = 0) -> None:
@@ -263,8 +270,9 @@ class InMemoryDiskManager(DiskManager):
     counters and checksums), just without touching the filesystem.
     """
 
-    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
-        super().__init__(page_size)
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE,
+                 verify_checksums: bool = True):
+        super().__init__(page_size, verify_checksums=verify_checksums)
         self._pages: list[bytes] = []
 
     @property
@@ -298,8 +306,9 @@ class FileDiskManager(DiskManager):
         page_size: int = DEFAULT_PAGE_SIZE,
         fsync: bool = True,
         buffering: int = -1,
+        verify_checksums: bool = True,
     ):
-        super().__init__(page_size)
+        super().__init__(page_size, verify_checksums=verify_checksums)
         self.path = path
         self.fsync = fsync
         # "r+b" honours seeks for writes ("a+b" would force appends);

@@ -1,0 +1,216 @@
+"""Executor billing, invariance pinning, scoring and the tripwire.
+
+One tiny full matrix executes once per test session (module fixture);
+every test then asserts against its rows — the suite stays fast while
+still exercising the real bench path end to end.
+"""
+
+import pytest
+
+from repro.ablate import (
+    build_matrix,
+    check_importance,
+    execute_matrix,
+    parse_importance_tsv,
+    render_importance_tsv,
+    score_runs,
+    suite_fingerprint,
+)
+from repro.errors import ConfigurationError
+
+SCALE = 0.1
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def matrix_result():
+    specs = build_matrix(scale=SCALE, seed=SEED)
+    return execute_matrix(specs, repeats=2)
+
+
+@pytest.fixture(scope="module")
+def report(matrix_result):
+    return score_runs(matrix_result["runs"])
+
+
+def _baseline(matrix_result):
+    return next(
+        row for row in matrix_result["runs"] if row["component"] is None)
+
+
+class TestLedgerBilling:
+    def test_reconciliation_is_exact(self, matrix_result):
+        """Every resource counter the matrix moved is attributed to a run."""
+        reconciliation = matrix_result["reconciliation"]
+        assert reconciliation["exact"], reconciliation
+
+    def test_every_run_billed_nonzero_work(self, matrix_result):
+        for row in matrix_result["runs"]:
+            resources = row["resources"]
+            assert resources["signature_comparisons"] > 0, row["name"]
+            assert resources["pages_read"] + resources["pages_written"] > 0
+
+    def test_wal_bytes_billed_only_to_durable_runs(self, matrix_result):
+        for row in matrix_result["runs"]:
+            if row["knobs"]["durable"]:
+                assert row["resources"]["wal_bytes"] > 0, row["name"]
+            else:
+                assert row["resources"]["wal_bytes"] == 0, row["name"]
+
+
+class TestInvariancePinning:
+    def test_all_runs_agree_on_pairs(self, matrix_result):
+        """The containment join's answer is unique: every configuration
+        must produce the identical pair set."""
+        digests = {row["pairs_digest"] for row in matrix_result["runs"]}
+        assert len(digests) == 1
+
+    def test_answer_exact_runs_pin_x_and_y(self, matrix_result):
+        baseline = _baseline(matrix_result)
+        for row in matrix_result["runs"]:
+            if row["invariance"] == "answer-exact":
+                assert row["x"] == baseline["x"], row["name"]
+                assert row["y"] == baseline["y"], row["name"]
+
+    def test_answer_affecting_components_move_accounting(self, matrix_result):
+        """The partitioning knobs must actually change x or y somewhere —
+        otherwise their ablation measures nothing."""
+        baseline = _baseline(matrix_result)
+        moved = {
+            row["component"]
+            for row in matrix_result["runs"]
+            if row["invariance"] == "answer-affecting"
+            and (row["x"] != baseline["x"] or row["y"] != baseline["y"])
+        }
+        assert "firing-probability" in moved
+        assert "alternation" in moved
+
+    def test_repeats_are_deterministic(self, matrix_result):
+        """run_bench raises on cross-repeat divergence; reaching here with
+        per-workload digests present means every repeat matched."""
+        for row in matrix_result["runs"]:
+            for workload in row["workloads"].values():
+                assert workload["pairs_digest"]
+
+
+class TestFingerprintTagging:
+    def test_runs_tagged_with_suite_workload_shape(self, matrix_result):
+        expected = suite_fingerprint(SCALE, SEED).key
+        for row in matrix_result["runs"]:
+            assert row["fingerprint"] == expected
+
+    def test_fingerprint_is_knob_free(self, matrix_result):
+        """Same workload shape regardless of configuration — that is what
+        makes reports sliceable by workload."""
+        assert len({row["fingerprint"] for row in matrix_result["runs"]}) == 1
+
+    def test_per_workload_fingerprints_differ(self, matrix_result):
+        row = _baseline(matrix_result)
+        keys = {w["fingerprint"] for w in row["workloads"].values()}
+        assert len(keys) == len(row["workloads"])
+
+    def test_workload_report_aggregates_runs(self, matrix_result):
+        report = matrix_result["workload_report"]
+        assert report["queries"] == len(matrix_result["runs"])
+        assert report["reconciliation"]["exact"]
+
+
+class TestScoring:
+    def test_every_component_ranked(self, matrix_result, report):
+        ranked = {c["component"] for c in report["components"]}
+        expected = {
+            row["component"] for row in matrix_result["runs"]
+            if row["component"] is not None
+        }
+        assert ranked == expected
+        assert len(ranked) >= 8
+
+    def test_rank_order_follows_deterministic_importance(self, report):
+        dets = [c["importance_det"] for c in report["components"]]
+        assert dets == sorted(dets, reverse=True)
+        assert [c["rank"] for c in report["components"]] == list(
+            range(1, len(dets) + 1))
+
+    def test_wal_and_plan_cache_have_deterministic_importance(self, report):
+        by_name = {c["component"]: c for c in report["components"]}
+        assert by_name["wal"]["importance_det"] > 0.5      # all WAL bytes
+        assert by_name["plan-cache"]["importance_det"] > 0.5  # replans
+
+    def test_all_answer_invariants_hold(self, report):
+        assert all(c["answer_ok"] for c in report["components"])
+
+    def test_rejects_matrix_without_baseline(self, matrix_result):
+        rows = [row for row in matrix_result["runs"]
+                if row["component"] is not None]
+        with pytest.raises(ConfigurationError, match="baseline"):
+            score_runs(rows)
+
+
+class TestTsvRoundTrip:
+    def test_parse_inverts_render(self, report):
+        parsed = parse_importance_tsv(render_importance_tsv(report))
+        assert parsed["meta"]["scale"] == SCALE
+        assert parsed["baseline"]["x"] == report["baseline"]["x"]
+        assert parsed["baseline"]["y"] == report["baseline"]["y"]
+        assert set(parsed["components"]) == {
+            c["component"] for c in report["components"]}
+        for component in report["components"]:
+            row = parsed["components"][component["component"]]
+            assert row["rank"] == component["rank"]
+            assert row["answer_ok"] == component["answer_ok"]
+            assert row["importance_det"] == pytest.approx(
+                component["importance_det"], abs=1e-4)
+
+
+class TestTripwire:
+    def test_self_check_passes(self, report):
+        committed = parse_importance_tsv(render_importance_tsv(report))
+        assert check_importance(report, committed) == []
+
+    def test_importance_collapse_fails(self, report):
+        committed = parse_importance_tsv(render_importance_tsv(report))
+        # Pretend a currently-zero component used to matter: its fresh
+        # importance has "collapsed" and the tripwire must fire.
+        victim = min(report["components"], key=lambda c: c["importance_det"])
+        committed["components"][victim["component"]]["importance_det"] = 0.6
+        failures = check_importance(report, committed)
+        assert any("importance collapsed" in failure for failure in failures)
+        assert any(victim["component"] in failure for failure in failures)
+
+    def test_insignificant_committed_importance_not_gated(self, report):
+        committed = parse_importance_tsv(render_importance_tsv(report))
+        victim = min(report["components"], key=lambda c: c["importance_det"])
+        committed["components"][victim["component"]]["importance_det"] = 0.01
+        assert check_importance(report, committed) == []
+
+    def test_missing_component_fails_full_matrix_only(self, report):
+        committed = parse_importance_tsv(render_importance_tsv(report))
+        committed["components"]["retired-component"] = dict(
+            next(iter(committed["components"].values())),
+            component="retired-component", importance_det=0.9,
+        )
+        failures = check_importance(report, committed, full_matrix=True)
+        assert any("retired-component" in failure for failure in failures)
+        assert check_importance(report, committed, full_matrix=False) == []
+
+    def test_answer_exactness_violation_fails(self, report):
+        committed = parse_importance_tsv(render_importance_tsv(report))
+        tampered = dict(report)
+        tampered["components"] = [dict(c) for c in report["components"]]
+        tampered["components"][0]["answer_ok"] = False
+        tampered["components"][0]["violations"] = ["x changed: 1 != 2"]
+        failures = check_importance(tampered, committed)
+        assert any("answer invariant violated" in failure
+                   for failure in failures)
+
+    def test_baseline_drift_fails(self, report):
+        committed = parse_importance_tsv(render_importance_tsv(report))
+        committed["baseline"]["x"] += 1
+        failures = check_importance(report, committed)
+        assert any("baseline x drifted" in failure for failure in failures)
+
+    def test_incompatible_configuration_fails(self, report):
+        committed = parse_importance_tsv(render_importance_tsv(report))
+        committed["meta"]["scale"] = 99.0
+        failures = check_importance(report, committed)
+        assert any("does not match" in failure for failure in failures)

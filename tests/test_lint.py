@@ -1,0 +1,66 @@
+"""Local mirrors of the CI source lints.
+
+The observability CI job enforces two AST lints over ``src/repro``:
+no bare ``print()`` outside the CLI/experiments, and no direct
+``time.time()``/``time.monotonic()`` calls anywhere in library code
+(*including* ``src/repro/experiments`` — every latency measurement must
+flow through an injected clock seam; storing the function as a default
+reference, ``clock=time.monotonic``, is the sanctioned idiom).  Running
+the same walks in the tier-1 suite catches violations before a push
+instead of in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+LIBRARY_ROOT = REPO_ROOT / "src" / "repro"
+
+#: Modules allowed to read clocks directly: the process-pool executor
+#: computes cross-process deadlines from the real monotonic clock.
+CLOCK_ALLOWED = {LIBRARY_ROOT / "parallel" / "executor.py"}
+
+FORBIDDEN_CLOCKS = ("time", "monotonic")
+
+
+def _walk_library():
+    for path in sorted(LIBRARY_ROOT.rglob("*.py")):
+        yield path, ast.parse(path.read_text(), filename=str(path))
+
+
+def test_no_direct_clock_reads_in_library_code():
+    bad = []
+    for path, tree in _walk_library():
+        if path in CLOCK_ALLOWED:
+            continue
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "time"
+                    and node.func.attr in FORBIDDEN_CLOCKS):
+                bad.append(f"{path.relative_to(REPO_ROOT)}:{node.lineno}")
+    assert not bad, (
+        "direct clock reads in library code (inject the clock instead):\n"
+        + "\n".join(bad)
+    )
+
+
+def test_no_bare_print_in_library_code():
+    bad = []
+    for path, tree in _walk_library():
+        # The CLI and the experiment harness print by design.
+        if (path == LIBRARY_ROOT / "cli.py"
+                or (LIBRARY_ROOT / "experiments") in path.parents):
+            continue
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"):
+                bad.append(f"{path.relative_to(REPO_ROOT)}:{node.lineno}")
+    assert not bad, (
+        "bare print() in library code (report via repro.obs instead):\n"
+        + "\n".join(bad)
+    )
